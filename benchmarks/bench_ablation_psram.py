@@ -1,0 +1,57 @@
+"""Ablation — PSRAM capacity sweep (design decision from DESIGN.md).
+
+The Outer-Product dataflow holds every partial sum on chip until the merging
+phase; when the PSRAM is too small the excess spills to DRAM and the merging
+phase becomes memory-bound.  The sweep shows the spill volume and merge-phase
+time shrinking as the PSRAM grows, while an Inner-Product execution of the
+same layer is completely insensitive (it never produces partial sums).
+"""
+
+from conftest import run_once
+
+from repro.accelerators import SigmaLikeAccelerator, SparchLikeAccelerator
+from repro.arch.config import default_config
+from repro.metrics import format_table
+from repro.workloads import get_representative_layer, materialize_layer
+
+PSRAM_SIZES_KIB = (4, 16, 64, 256)
+
+
+def _sweep():
+    spec = get_representative_layer("R6")
+    a, b = materialize_layer(spec, scale=0.15)
+    rows = []
+    for size_kib in PSRAM_SIZES_KIB:
+        config = default_config(
+            num_multipliers=16,
+            distribution_bandwidth=4,
+            reduction_bandwidth=4,
+            str_cache_bytes=64 * 1024,
+            psram_bytes=size_kib * 1024,
+        )
+        sparch = SparchLikeAccelerator(config).run_layer(a, b)
+        sigma = SigmaLikeAccelerator(config).run_layer(a, b)
+        rows.append(
+            {
+                "psram_kib": size_kib,
+                "op_merge_cycles": sparch.cycles.merging,
+                "op_spill_kb": sparch.dram.psum_spill_bytes / 1e3,
+                "op_total_cycles": sparch.total_cycles,
+                "ip_total_cycles": sigma.total_cycles,
+            }
+        )
+    return rows
+
+
+def bench_ablation_psram_capacity(benchmark, settings):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(format_table(rows, title="Ablation — PSRAM capacity sweep (layer R6, OP dataflow)"))
+
+    # Spills shrink monotonically as the PSRAM grows.
+    spills = [row["op_spill_kb"] for row in rows]
+    assert all(a >= b for a, b in zip(spills, spills[1:]))
+    assert spills[0] > spills[-1]
+    # The Inner-Product design does not care about the PSRAM at all.
+    ip_cycles = {row["ip_total_cycles"] for row in rows}
+    assert len(ip_cycles) == 1

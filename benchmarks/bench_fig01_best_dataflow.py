@@ -1,0 +1,46 @@
+"""Fig. 1 — the dataflow that obtains the best performance per layer.
+
+The paper's motivating figure: for every layer of the eight DNN models, which
+of the three dataflow families (IP, OP, Gust) executes fastest on a
+64-multiplier substrate.  The reproduction prints, per model, how many of the
+simulated layers favour each family and what Flexagon actually configured.
+"""
+
+from collections import Counter
+
+from conftest import run_once
+
+from repro.experiments import (
+    best_dataflow_per_layer_rows,
+    run_end_to_end,
+)
+from repro.metrics import format_table
+
+
+def bench_fig01_best_dataflow_per_layer(benchmark, settings):
+    results = run_once(benchmark, run_end_to_end, settings)
+    rows = best_dataflow_per_layer_rows(results)
+
+    summary = []
+    for model in results.model_names():
+        model_rows = [r for r in rows if r["model"] == model]
+        wins = Counter(r["best"] for r in model_rows)
+        flexagon = Counter(r["flexagon_choice"] for r in model_rows)
+        summary.append(
+            {
+                "model": model,
+                "layers": len(model_rows),
+                "IP wins": wins.get("IP", 0),
+                "OP wins": wins.get("OP", 0),
+                "Gust wins": wins.get("Gust", 0),
+                "Flexagon IP/OP/Gust": (
+                    f"{flexagon.get('IP', 0)}/{flexagon.get('OP', 0)}/{flexagon.get('Gust', 0)}"
+                ),
+            }
+        )
+    print()
+    print(format_table(summary, title="Fig. 1 — best dataflow per layer (simulated layers)"))
+
+    # Sanity: every simulated layer has a winner and Flexagon made a choice.
+    assert all(r["best"] in ("IP", "OP", "Gust") for r in rows)
+    assert len(rows) == sum(results.sampled_layers.values())

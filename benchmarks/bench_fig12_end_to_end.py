@@ -1,0 +1,40 @@
+"""Fig. 12 — end-to-end speed-up over CPU MKL for the five designs x eight models.
+
+The reproduction prints each design's speed-up (in wall-clock time) over the
+CPU baseline, per model and as the geometric mean, and checks the paper's two
+qualitative claims: no fixed-dataflow design wins everywhere, and Flexagon is
+never beaten by any fixed-dataflow design.
+"""
+
+from conftest import run_once
+
+from repro.experiments import end_to_end_speedup_rows, run_end_to_end
+from repro.metrics import format_table
+
+FIXED_DESIGNS = ("SIGMA-like", "SpArch-like", "GAMMA-like")
+
+
+def bench_fig12_end_to_end_speedup(benchmark, settings):
+    results = run_once(benchmark, run_end_to_end, settings)
+    rows = end_to_end_speedup_rows(results)
+    print()
+    print(format_table(rows, title="Fig. 12 — speed-up over CPU MKL (higher is better)"))
+
+    per_model = [row for row in rows if row["model"] != "GEOMEAN"]
+    geomean = next(row for row in rows if row["model"] == "GEOMEAN")
+
+    # Claim 1: every accelerator is faster than the CPU on average.
+    for design in FIXED_DESIGNS + ("Flexagon",):
+        assert geomean[design] > 1.0
+
+    # Claim 2: Flexagon is at least as fast as the best fixed design per model
+    # (small tolerance: the sampled chains are approximations).
+    for row in per_model:
+        best_fixed = max(row[design] for design in FIXED_DESIGNS)
+        assert row["Flexagon"] >= 0.95 * best_fixed, row["model"]
+
+    # Claim 3: no single fixed-dataflow design is the best for every model.
+    winners = {
+        max(FIXED_DESIGNS, key=lambda design: row[design]) for row in per_model
+    }
+    assert len(winners) > 1

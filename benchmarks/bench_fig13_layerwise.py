@@ -1,0 +1,55 @@
+"""Fig. 13 — layer-wise speed-up of the four designs on the nine Table 6 layers.
+
+Prints, per layer and design, the speed-up relative to the SIGMA-like design
+and the fraction of time spent in the multiplying vs merging phases (the
+stacked bars of the original figure), then checks the grouping the paper
+reports: the first three layers favour IP, the last three favour Gustavson,
+and Flexagon always performs within a small tolerance of the best design.
+"""
+
+from conftest import run_once
+
+from repro.experiments import layerwise_speedup_rows, run_layerwise_comparison
+from repro.metrics import format_table
+
+IP_FRIENDLY = ("SQ5", "SQ11", "R4")
+GUST_FRIENDLY = ("MB215", "V7", "A2")
+
+
+def bench_fig13_layerwise_speedup(benchmark, settings):
+    results = run_once(benchmark, run_layerwise_comparison, settings)
+    rows = layerwise_speedup_rows(results)
+    print()
+    print(format_table(
+        rows,
+        columns=["layer", "design", "dataflow", "speedup_vs_sigma",
+                 "mult_fraction", "merge_fraction"],
+        title="Fig. 13 — layer-wise speed-up vs SIGMA-like",
+    ))
+
+    by_layer = {}
+    for row in rows:
+        by_layer.setdefault(row["layer"], {})[row["design"]] = row
+
+    # Grouping claim: IP wins its group, Gustavson wins its group.
+    for layer in IP_FRIENDLY:
+        cells = by_layer[layer]
+        assert cells["SIGMA-like"]["speedup_vs_sigma"] >= max(
+            cells["SpArch-like"]["speedup_vs_sigma"],
+            cells["GAMMA-like"]["speedup_vs_sigma"],
+        )
+    for layer in GUST_FRIENDLY:
+        cells = by_layer[layer]
+        assert cells["GAMMA-like"]["speedup_vs_sigma"] >= max(
+            cells["SIGMA-like"]["speedup_vs_sigma"],
+            cells["SpArch-like"]["speedup_vs_sigma"],
+        )
+
+    # Flexagon reaches (or nearly reaches) the best design on every layer.
+    for layer, cells in by_layer.items():
+        best = max(cells[d]["speedup_vs_sigma"] for d in cells if d != "Flexagon")
+        assert cells["Flexagon"]["speedup_vs_sigma"] >= 0.9 * best, layer
+
+    # The Inner-Product design never spends time merging.
+    for layer, cells in by_layer.items():
+        assert cells["SIGMA-like"]["merge_fraction"] == 0.0

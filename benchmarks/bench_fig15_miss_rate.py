@@ -1,0 +1,36 @@
+"""Fig. 15 — streaming-cache (STR) miss rate per layer and design."""
+
+from conftest import run_once
+
+from repro.experiments import miss_rate_rows, run_layerwise_comparison
+from repro.metrics import format_table
+
+#: Layers whose streaming operand is far larger than the cache (the paper's
+#: OP-friendly group): the Gustavson design must show a clearly higher miss
+#: rate than on the small-B layers.
+LARGE_B_LAYERS = ("R6", "S-R3", "V0")
+SMALL_B_LAYERS = ("MB215", "V7", "A2")
+
+
+def bench_fig15_str_cache_miss_rate(benchmark, settings):
+    results = run_once(benchmark, run_layerwise_comparison, settings)
+    rows = miss_rate_rows(results)
+    print()
+    print(format_table(
+        rows, title="Fig. 15 — STR cache miss rate (%)",
+        columns=["layer", "design", "miss_rate_pct", "accesses"],
+    ))
+
+    by_layer = {}
+    for row in rows:
+        by_layer.setdefault(row["layer"], {})[row["design"]] = row
+
+    # Miss rates are small in absolute terms (the paper's axis tops out at 3.5%).
+    for row in rows:
+        assert row["miss_rate_pct"] <= 25.0
+
+    # GAMMA-like suffers markedly more misses when B does not fit the cache
+    # than when it does (the paper's explanation for the OP-friendly group).
+    gamma_large = sum(by_layer[l]["GAMMA-like"]["miss_rate_pct"] for l in LARGE_B_LAYERS)
+    gamma_small = sum(by_layer[l]["GAMMA-like"]["miss_rate_pct"] for l in SMALL_B_LAYERS)
+    assert gamma_large > gamma_small

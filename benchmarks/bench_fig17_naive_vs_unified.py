@@ -1,0 +1,24 @@
+"""Fig. 17 — unified MRN vs a naive design with three separate networks."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import naive_comparison_rows
+from repro.metrics import format_table
+
+
+def bench_fig17_naive_vs_unified(benchmark, settings):
+    rows = run_once(benchmark, naive_comparison_rows, settings.config)
+    print()
+    print(format_table(rows, title="Fig. 17 — Flexagon vs naive triple-network design (mm2)"))
+
+    by_design = {row["design"]: row for row in rows}
+    flexagon = by_design["Flexagon"]
+    naive = by_design["Naive"]
+
+    # The three replicated networks alone add only a little datapath area...
+    assert naive["datapath_mm2"] < 1.10 * flexagon["total_mm2"] - flexagon["sram_mm2"] + flexagon["datapath_mm2"]
+    # ...but the muxes/demuxes push the naive design ~25% above Flexagon.
+    assert naive["total_mm2"] / flexagon["total_mm2"] == pytest.approx(1.27, abs=0.08)
+    assert naive["mux_demux_mm2"] > 0
+    assert flexagon["mux_demux_mm2"] == 0

@@ -1,0 +1,26 @@
+"""Table 2 — the DNN models used in the evaluation.
+
+Prints, for each of the eight models, the layer count, average sparsities,
+compressed-size statistics of the reconstructed layers and the CPU-baseline
+cycles (both the paper's reported number and this model's estimate on the
+sampled, scaled chain).
+"""
+
+from conftest import run_once
+
+from repro.experiments import model_statistics_rows, run_end_to_end
+from repro.metrics import format_table
+from repro.workloads import MODEL_REGISTRY
+
+
+def bench_table2_model_statistics(benchmark, settings):
+    results = run_once(benchmark, run_end_to_end, settings)
+    rows = model_statistics_rows(results)
+    print()
+    print(format_table(rows, title="Table 2 — DNN models used in this work"))
+
+    assert len(rows) == 8
+    expected_layers = {"A": 7, "SQ": 26, "V": 8, "R": 54, "S-R": 37, "S-M": 29,
+                       "DB": 36, "MB": 316}
+    for short, model in MODEL_REGISTRY.items():
+        assert model.num_layers == expected_layers[short]

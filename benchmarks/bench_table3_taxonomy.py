@@ -1,0 +1,24 @@
+"""Table 3 — taxonomy of the six SpMSpM dataflow variants.
+
+Static property table: loop order, stationary/streaming tensors, operand
+formats and intersection/merging style for each dataflow, as encoded in
+:mod:`repro.dataflows.base`.
+"""
+
+from conftest import run_once
+
+from repro.dataflows import DATAFLOW_PROPERTIES, Dataflow, taxonomy_table
+from repro.metrics import format_table
+from repro.sparse import Layout
+
+
+def bench_table3_dataflow_taxonomy(benchmark, settings):
+    rows = run_once(benchmark, taxonomy_table)
+    print()
+    print(format_table(rows, title="Table 3 — dataflow taxonomy"))
+
+    assert len(rows) == 6
+    # Spot-check the paper's rows.
+    assert DATAFLOW_PROPERTIES[Dataflow.IP_M].b_format is Layout.CSC
+    assert DATAFLOW_PROPERTIES[Dataflow.GUST_M].merging == "Fiber(M)"
+    assert DATAFLOW_PROPERTIES[Dataflow.OP_N].c_format is Layout.CSC

@@ -1,0 +1,24 @@
+"""Table 4 — inter-layer dataflow transitions that avoid explicit conversions.
+
+Reproduces the 6x6 legality matrix: rows are the dataflow of layer i (which
+fixes the layout its output is produced in), columns the dataflow of layer
+i+1 (which fixes the layout it needs its activations in); ``ok`` marks
+transitions that need no explicit format conversion.
+"""
+
+from conftest import run_once
+
+from repro.dataflows import Dataflow, transition_table
+from repro.metrics import format_table
+
+
+def bench_table4_transition_matrix(benchmark, settings):
+    table = run_once(benchmark, transition_table)
+    rows = table.as_rows()
+    print()
+    print(format_table(rows, title="Table 4 — transitions without explicit conversion"))
+
+    # Structural property the paper highlights: every dataflow has exactly
+    # three conversion-free successors (and three that need an EC).
+    for previous in Dataflow:
+        assert len(table.allowed_without_conversion(previous)) == 3

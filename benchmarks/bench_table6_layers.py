@@ -1,0 +1,25 @@
+"""Table 6 — the nine representative DNN layers selected for the layer-wise study."""
+
+from conftest import run_once
+
+from repro.metrics import format_table
+from repro.workloads.layers import layer_summary
+from repro.workloads.representative import REPRESENTATIVE_LAYERS, TABLE6_COMPRESSED_KIB
+
+
+def bench_table6_representative_layers(benchmark, settings):
+    rows = run_once(benchmark, lambda: [layer_summary(s) for s in REPRESENTATIVE_LAYERS])
+    for row in rows:
+        paper = TABLE6_COMPRESSED_KIB[row["layer"]]
+        row["paper csA/csB/csC (KiB)"] = f"{paper[0]}/{paper[1]}/{paper[2]}"
+    print()
+    print(format_table(rows, title="Table 6 — representative DNN layers"))
+
+    assert [row["layer"] for row in rows] == [
+        "SQ5", "SQ11", "R4", "R6", "S-R3", "V0", "MB215", "V7", "A2",
+    ]
+    # The reconstructed compressed sizes should be the same order of magnitude
+    # as the paper's (they are synthetic matrices with the same shape/sparsity).
+    for row in rows:
+        paper_cs_b = TABLE6_COMPRESSED_KIB[row["layer"]][1]
+        assert 0.2 * paper_cs_b <= row["csB(KiB)"] <= 5.0 * paper_cs_b

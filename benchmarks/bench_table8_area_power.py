@@ -1,0 +1,25 @@
+"""Table 8 — post-layout area and power of the four accelerator designs."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import area_power_rows
+from repro.metrics import format_table
+
+
+def bench_table8_area_power(benchmark, settings):
+    rows = run_once(benchmark, area_power_rows, settings.config)
+    print()
+    print(format_table(rows, title="Table 8 — area (mm2) and power (mW) breakdown"))
+
+    by_design = {row["design"]: row for row in rows}
+    # The paper's headline overheads: Flexagon is ~25% / ~3% / ~14% larger than
+    # the SIGMA-like, SpArch-like and GAMMA-like designs respectively.
+    flexagon = by_design["Flexagon"]["Total (mm2)"]
+    assert flexagon / by_design["SIGMA-like"]["Total (mm2)"] == pytest.approx(1.25, abs=0.04)
+    assert flexagon / by_design["SpArch-like"]["Total (mm2)"] == pytest.approx(1.03, abs=0.04)
+    assert flexagon / by_design["GAMMA-like"]["Total (mm2)"] == pytest.approx(1.14, abs=0.04)
+    # The memory structures dominate the area of every design.
+    for row in rows:
+        sram = row["Cache (mm2)"] + row["PSRAM (mm2)"]
+        assert sram > 0.7 * row["Total (mm2)"]

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark uses the same :class:`ExperimentSettings`, so the expensive
+layer-wise and end-to-end simulations are executed once per pytest session
+(the experiment functions cache per settings object) and the individual
+benchmark files only slice and print their figure's rows.
+
+Environment knobs:
+
+* ``REPRO_FULL_SCALE=1`` — run the full-size (unscaled) layers.  Only do this
+  with a lot of patience; the default scaled runs preserve the trends.
+* ``REPRO_MAX_DENSE_MACS`` — override the per-layer dense-MAC budget used to
+  pick the scale factor (default used by the benches: 2e6).
+* ``REPRO_MAX_LAYERS`` — cap on simulated layers per model (default 8).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import default_settings
+
+#: Defaults tuned so the whole benchmark suite completes in a few minutes.
+_BENCH_MAC_BUDGET = float(os.environ.get("REPRO_MAX_DENSE_MACS", 2e6))
+_BENCH_MAX_LAYERS = int(os.environ.get("REPRO_MAX_LAYERS", 8))
+
+
+@pytest.fixture(scope="session")
+def settings():
+    """Experiment settings shared by every benchmark in the session."""
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        return default_settings(max_layers_per_model=_BENCH_MAX_LAYERS)
+    return default_settings(
+        max_dense_macs=_BENCH_MAC_BUDGET, max_layers_per_model=_BENCH_MAX_LAYERS
+    )
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations (not microbenchmarks), so a
+    single round is both sufficient and necessary to keep the suite fast.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+"""End-to-end sparse DNN inference on the four accelerator designs.
+
+Run with::
+
+    python examples/sparse_dnn_inference.py [MODEL] [MAX_LAYERS]
+
+where ``MODEL`` is one of the Table 2 short names (A, SQ, V, R, S-R, S-M, DB,
+MB; default SQ) and ``MAX_LAYERS`` caps how many layers are simulated
+(default 8).  The script chains the model's layers through the scheduler on
+the SIGMA-like, SpArch-like, GAMMA-like and Flexagon designs and reports the
+per-layer dataflow choices and the end-to-end comparison — a miniature
+version of the paper's Fig. 12.
+"""
+
+import sys
+
+from repro.accelerators import (
+    CpuMklLikeBaseline,
+    FlexagonAccelerator,
+    GammaLikeAccelerator,
+    SigmaLikeAccelerator,
+    SparchLikeAccelerator,
+)
+from repro.core import DnnScheduler, LayerExecution, OracleMapper
+from repro.experiments import default_settings
+from repro.metrics import format_table
+from repro.workloads import get_model, materialize_layer
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "SQ"
+    max_layers = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    model = get_model(model_name)
+    settings = default_settings(max_dense_macs=2e6, max_layers_per_model=max_layers)
+    layers = list(model.layers)[:max_layers]
+    scale = min(settings.layer_scale(spec) for spec in layers)
+    config = settings.scaled_config(scale)
+    print(f"{model.name}: simulating {len(layers)}/{model.num_layers} layers "
+          f"at scale {scale:.3f}")
+
+    executions = []
+    operands = []
+    for spec in layers:
+        a, b = materialize_layer(spec, scale=scale)
+        executions.append(LayerExecution(a=a, b=b, name=spec.name))
+        operands.append((a, b))
+
+    designs = [
+        SigmaLikeAccelerator(config),
+        SparchLikeAccelerator(config),
+        GammaLikeAccelerator(config),
+        FlexagonAccelerator(config, mapper=OracleMapper(config)),
+    ]
+    cpu_seconds = CpuMklLikeBaseline().run_model(operands).seconds
+
+    rows = []
+    flexagon_result = None
+    for design in designs:
+        scheduler = DnnScheduler(design, track_activation_layout=False)
+        result = scheduler.run_model(executions, model_name=model.name)
+        if design.name == "Flexagon":
+            flexagon_result = result
+        seconds = config.cycles_to_seconds(result.total_cycles)
+        rows.append(
+            {
+                "design": design.name,
+                "cycles": round(result.total_cycles),
+                "speed-up vs CPU": round(cpu_seconds / seconds, 2),
+                "on-chip traffic (MB)": round(result.total_traffic.onchip_bytes / 1e6, 2),
+                "dataflows used": ", ".join(
+                    f"{d.dataflow_class.value}x{count}"
+                    for d, count in sorted(
+                        result.dataflow_histogram.items(), key=lambda kv: kv[0].name
+                    )
+                ),
+            }
+        )
+    print()
+    print(format_table(rows, title=f"End-to-end comparison on {model.name}"))
+
+    per_layer = [
+        {
+            "layer": layer.layer_name,
+            "Flexagon dataflow": layer.dataflow.informal_name,
+            "cycles": round(layer.total_cycles),
+            "miss rate (%)": round(100 * layer.str_cache_miss_rate, 2),
+        }
+        for layer in flexagon_result.layer_results
+    ]
+    print(format_table(per_layer, title="Flexagon's per-layer dataflow choices"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package available (offline), so
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path, which
+this file enables.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Flexagon reproduction: a multi-dataflow SpMSpM accelerator model.
+
+The package reproduces, in pure Python, the system described in
+
+    "Flexagon: A Multi-Dataflow Sparse-Sparse Matrix Multiplication
+     Accelerator for Efficient DNN Processing", ASPLOS 2023.
+
+Public API layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sparse` — compressed formats (CSR/CSC), fibers, generators.
+* :mod:`repro.dataflows` — the six SpMSpM dataflows and their taxonomy.
+* :mod:`repro.arch` — cycle-accounting hardware components (MRN, caches,
+  PSRAM, DRAM, controllers).
+* :mod:`repro.accelerators` — Flexagon plus the SIGMA-like, SpArch-like,
+  GAMMA-like and CPU baselines, and the area/power model.
+* :mod:`repro.core` — the mapper (dataflow analysis), tiling and the DNN
+  layer-chain scheduler.
+* :mod:`repro.workloads` — the 8 DNN models and 9 representative layers of
+  the paper's evaluation.
+* :mod:`repro.metrics` — result records and report formatting.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sparse import (
+    CompressedMatrix,
+    Fiber,
+    Layout,
+    csr_from_dense,
+    csc_from_dense,
+    random_sparse,
+)
+from repro.dataflows import Dataflow, DataflowClass, run_dataflow
+
+__all__ = [
+    "__version__",
+    "CompressedMatrix",
+    "Fiber",
+    "Layout",
+    "csr_from_dense",
+    "csc_from_dense",
+    "random_sparse",
+    "Dataflow",
+    "DataflowClass",
+    "run_dataflow",
+]

@@ -1,0 +1,83 @@
+"""Common interface of the simulated accelerator designs."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.arch.config import AcceleratorConfig, default_config
+from repro.accelerators.engine import SpmspmEngine
+from repro.dataflows.base import Dataflow
+from repro.metrics.results import LayerSimResult
+from repro.sparse.formats import CompressedMatrix
+
+
+class Accelerator(abc.ABC):
+    """Base class for the four simulated hardware designs.
+
+    Every design wraps the shared :class:`SpmspmEngine` substrate; what a
+    concrete subclass decides is *which dataflows it is allowed to configure*
+    for a given layer (Flexagon: all six; the baselines: exactly one family).
+    """
+
+    #: Human-readable name used in result records and benchmark tables.
+    name: str = "accelerator"
+
+    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+        self.config = config or default_config()
+        self.engine = SpmspmEngine(self.config)
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def supported_dataflows(self) -> tuple[Dataflow, ...]:
+        """The dataflows this design can execute."""
+
+    @abc.abstractmethod
+    def choose_dataflow(
+        self,
+        a: CompressedMatrix,
+        b: CompressedMatrix,
+        *,
+        activation_layout=None,
+        produced_layout=None,
+    ) -> Dataflow:
+        """Pick the dataflow this design would configure for the given layer.
+
+        ``activation_layout`` is the layout the activations arrive in from the
+        previous layer; ``produced_layout`` optionally constrains the layout
+        the output must be produced in.  Fixed-dataflow designs may ignore
+        either hint (and then pay the explicit-conversion cost the scheduler
+        charges).
+        """
+
+    # ------------------------------------------------------------------
+    def run_layer(
+        self,
+        a: CompressedMatrix,
+        b: CompressedMatrix,
+        *,
+        dataflow: Dataflow | None = None,
+        capture_output: bool = False,
+        layer_name: str = "",
+    ) -> LayerSimResult:
+        """Simulate one SpMSpM layer on this design.
+
+        When ``dataflow`` is omitted the design's own selection policy is
+        used; when it is given it must be one of the supported dataflows.
+        """
+        chosen = dataflow or self.choose_dataflow(a, b)
+        if chosen not in self.supported_dataflows:
+            raise ValueError(
+                f"{self.name} does not support the {chosen.informal_name} dataflow"
+            )
+        return self.engine.run_layer(
+            chosen,
+            a,
+            b,
+            capture_output=capture_output,
+            layer_name=layer_name,
+            accelerator_name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(multipliers={self.config.num_multipliers})"

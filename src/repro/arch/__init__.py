@@ -1,0 +1,31 @@
+"""Cycle-accounting models of Flexagon's on-chip hardware components.
+
+The subpackage contains the building blocks of Fig. 3a:
+
+* :mod:`repro.arch.config` — the accelerator configuration (Table 5).
+* :mod:`repro.arch.distribution` — the Benes-style Distribution Network.
+* :mod:`repro.arch.multiplier` — the Multiplier Network (multiplier /
+  forwarder modes).
+* :mod:`repro.arch.mrn` — the Merger-Reduction Network (adder/comparator
+  tree), including a tick-level micro-simulator.
+* :mod:`repro.arch.memory` — the L1 memory organisation: stationary FIFO,
+  streaming set-associative cache, PSRAM and the DRAM model.
+* :mod:`repro.arch.controllers` — the unified tile filler/reader/writer
+  memory controllers of Fig. 11.
+"""
+
+from repro.arch.config import AcceleratorConfig, default_config
+from repro.arch.distribution import DistributionNetwork
+from repro.arch.multiplier import MultiplierMode, MultiplierNetwork, MultiplierSwitch
+from repro.arch.mrn import MergerReductionNetwork, NodeMode
+
+__all__ = [
+    "AcceleratorConfig",
+    "default_config",
+    "DistributionNetwork",
+    "MultiplierMode",
+    "MultiplierNetwork",
+    "MultiplierSwitch",
+    "MergerReductionNetwork",
+    "NodeMode",
+]

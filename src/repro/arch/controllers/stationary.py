@@ -1,0 +1,156 @@
+"""Tile filler / tile reader for the stationary operand (STA in Fig. 11).
+
+The stationary operand is read sequentially, fiber by fiber, and mapped onto
+the multiplier array.  What differs between dataflows is the *granularity* of
+the stationary unit:
+
+* **IP** — whole fibers (rows of A) are packed into the array; a fiber longer
+  than the array is split into chunks that occupy the array alone.
+* **OP** — individual scalars (elements of A walked column-by-column) are
+  packed, ``num_multipliers`` at a time.
+* **Gust** — individual scalars of one row at a time are packed, so a batch
+  never mixes output rows (each batch produces psums for a single row).
+
+The reader exposes these as :class:`StationaryBatch` objects; the accelerator
+engine charges the DRAM fill traffic and the distribution cycles per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.dataflows.base import Dataflow, DataflowClass
+from repro.sparse.fiber import Fiber
+from repro.sparse.formats import CompressedMatrix
+
+
+@dataclass
+class StationaryBatch:
+    """One multiplier-array load of stationary data.
+
+    Attributes
+    ----------
+    entries:
+        A list of ``(major_index, fiber)`` pairs.  For IP the fiber is the
+        (possibly chunked) stationary row; for OP/Gust each fiber holds the
+        individual scalars mapped to consecutive multipliers, where the fiber
+        coordinate is the K index of the scalar.
+    num_elements:
+        Total stationary elements occupying multipliers in this batch.
+    """
+
+    entries: list[tuple[int, Fiber]] = field(default_factory=list)
+    num_elements: int = 0
+
+    def majors(self) -> list[int]:
+        """The distinct major (row for M-stationary) indices present."""
+        seen: list[int] = []
+        for major, _ in self.entries:
+            if major not in seen:
+                seen.append(major)
+        return seen
+
+
+class StationaryTileReader:
+    """Generates the sequence of stationary batches for one layer execution."""
+
+    def __init__(
+        self,
+        dataflow: Dataflow,
+        stationary_matrix: CompressedMatrix,
+        num_multipliers: int,
+    ) -> None:
+        if num_multipliers < 1:
+            raise ValueError("num_multipliers must be positive")
+        self.dataflow = dataflow
+        self.matrix = stationary_matrix
+        self.num_multipliers = num_multipliers
+        #: Total elements read from the stationary structure over all batches.
+        self.elements_read = 0
+        #: Number of batches generated so far.
+        self.batches_generated = 0
+
+    # ------------------------------------------------------------------
+    def batches(self) -> Iterator[StationaryBatch]:
+        """Yield the stationary batches in execution order."""
+        cls = self.dataflow.dataflow_class
+        if cls is DataflowClass.INNER_PRODUCT:
+            yield from self._inner_product_batches()
+        elif cls is DataflowClass.OUTER_PRODUCT:
+            yield from self._outer_product_batches()
+        else:
+            yield from self._gustavson_batches()
+
+    # ------------------------------------------------------------------
+    def _emit(self, batch: StationaryBatch) -> StationaryBatch:
+        self.elements_read += batch.num_elements
+        self.batches_generated += 1
+        return batch
+
+    def _inner_product_batches(self) -> Iterator[StationaryBatch]:
+        """Pack whole stationary fibers; split fibers longer than the array."""
+        current = StationaryBatch()
+        for major in range(self.matrix.major_dim):
+            nnz = self.matrix.fiber_nnz(major)
+            if nnz == 0:
+                continue
+            if nnz > self.num_multipliers:
+                if current.entries:
+                    yield self._emit(current)
+                    current = StationaryBatch()
+                elements = list(self.matrix.fiber(major))
+                for start in range(0, len(elements), self.num_multipliers):
+                    chunk = Fiber(
+                        (e.coord, e.value)
+                        for e in elements[start : start + self.num_multipliers]
+                    )
+                    yield self._emit(
+                        StationaryBatch(entries=[(major, chunk)], num_elements=chunk.nnz)
+                    )
+                continue
+            if current.num_elements + nnz > self.num_multipliers and current.entries:
+                yield self._emit(current)
+                current = StationaryBatch()
+            current.entries.append((major, self.matrix.fiber(major)))
+            current.num_elements += nnz
+        if current.entries:
+            yield self._emit(current)
+
+    def _outer_product_batches(self) -> Iterator[StationaryBatch]:
+        """Pack individual scalars, walking the stationary matrix fiber by fiber."""
+        pending: list[tuple[int, int, float]] = []  # (major=k, minor=m, value)
+        for k in range(self.matrix.major_dim):
+            for coord, value in self.matrix.fiber(k):
+                pending.append((k, coord, value))
+                if len(pending) == self.num_multipliers:
+                    yield self._emit(_scalar_batch(pending))
+                    pending = []
+        if pending:
+            yield self._emit(_scalar_batch(pending))
+
+    def _gustavson_batches(self) -> Iterator[StationaryBatch]:
+        """Pack scalars of one stationary row at a time (never mixing rows)."""
+        for m in range(self.matrix.major_dim):
+            fiber = self.matrix.fiber(m)
+            if fiber.is_empty():
+                continue
+            elements = list(fiber)
+            for start in range(0, len(elements), self.num_multipliers):
+                chunk = elements[start : start + self.num_multipliers]
+                batch = StationaryBatch(
+                    entries=[(m, Fiber((e.coord, e.value) for e in chunk))],
+                    num_elements=len(chunk),
+                )
+                yield self._emit(batch)
+
+
+def _scalar_batch(pending: list[tuple[int, int, float]]) -> StationaryBatch:
+    """Group pending (k, m, value) scalars by k into a StationaryBatch."""
+    grouped: dict[int, list[tuple[int, float]]] = {}
+    for k, m, value in pending:
+        grouped.setdefault(k, []).append((m, value))
+    entries = [
+        (k, Fiber(sorted(elements), sort=True)) for k, elements in grouped.items()
+    ]
+    return StationaryBatch(entries=entries, num_elements=len(pending))

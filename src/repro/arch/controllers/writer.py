@@ -1,0 +1,69 @@
+"""Tile writer for matrix C (Fig. 11, "Tile Writer C").
+
+The writer receives the elements leaving the MRN and routes them either to
+the PSRAM (when the element is a partial sum that will be merged later) or to
+the output write buffer on the way to DRAM (when it is a final element of C).
+It also assembles the output fibers so the engine can reconstruct the full
+output matrix in the layout the dataflow produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.memory.psram import Psram
+from repro.arch.memory.write_buffer import WriteBuffer
+from repro.sparse.fiber import Element, Fiber
+
+
+@dataclass
+class WriterStats:
+    """Counters of the C tile writer."""
+
+    final_elements: int = 0
+    partial_elements: int = 0
+    psram_spills: int = 0
+
+
+class OutputTileWriter:
+    """Routes produced elements to the PSRAM or to DRAM via the write buffer."""
+
+    def __init__(self, psram: Psram, write_buffer: WriteBuffer) -> None:
+        self.psram = psram
+        self.write_buffer = write_buffer
+        self.stats = WriterStats()
+        self._final_fibers: dict[int, list[Element]] = {}
+
+    # ------------------------------------------------------------------
+    def write_partial(self, row: int, k: int, element: Element) -> bool:
+        """Store a partial sum in the PSRAM; returns False when it spilled to DRAM."""
+        self.stats.partial_elements += 1
+        stored = self.psram.partial_write(row, k, element)
+        if not stored:
+            self.stats.psram_spills += 1
+        return stored
+
+    def write_final(self, major: int, element: Element) -> None:
+        """Emit a final element of C (appends to the output fiber for ``major``)."""
+        self.stats.final_elements += 1
+        self.write_buffer.write(element)
+        self._final_fibers.setdefault(major, []).append(element)
+
+    def write_final_fiber(self, major: int, fiber: Fiber) -> None:
+        """Emit a whole final output fiber."""
+        for element in fiber:
+            self.write_final(major, element)
+
+    # ------------------------------------------------------------------
+    def collected_fibers(self) -> dict[int, Fiber]:
+        """Return the final output fibers accumulated so far, sorted by coordinate."""
+        out: dict[int, Fiber] = {}
+        for major, elements in self._final_fibers.items():
+            out[major] = Fiber(
+                ((e.coord, e.value) for e in elements), sort=True
+            )
+        return out
+
+    def flush(self) -> int:
+        """Flush the write buffer to DRAM; return elements drained."""
+        return self.write_buffer.flush()

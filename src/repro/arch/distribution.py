@@ -1,0 +1,88 @@
+"""Distribution Network (DN): delivers operands from the L1 SRAMs to the multipliers.
+
+Flexagon uses a Benes topology (as SIGMA does) so that any mix of unicast,
+multicast and broadcast deliveries can be routed without blocking.  For the
+purposes of cycle accounting the relevant properties are:
+
+* the network is non-blocking, so delivery order never adds stalls, and
+* it accepts at most ``bandwidth`` elements per cycle (16 in Table 5).
+
+The model therefore tracks how many elements were delivered in each mode and
+converts element counts into cycles with the bandwidth bound; it also reports
+the structural parameters of the Benes topology (levels, switch count) that
+the area/power model uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class DistributionStats:
+    """Delivery counters for the distribution network."""
+
+    unicasts: int = 0
+    multicasts: int = 0
+    broadcasts: int = 0
+    elements_delivered: int = 0
+    cycles: float = 0.0
+
+
+class DistributionNetwork:
+    """Bandwidth-bounded model of the Benes distribution network."""
+
+    def __init__(self, num_outputs: int, bandwidth: int) -> None:
+        if num_outputs < 1:
+            raise ValueError("the distribution network needs at least one output")
+        if bandwidth < 1:
+            raise ValueError("bandwidth must be positive")
+        self.num_outputs = num_outputs
+        self.bandwidth = bandwidth
+        self.stats = DistributionStats()
+
+    # ------------------------------------------------------------------
+    # Structural properties (used by the area model)
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Benes network depth: ``2*log2(N) + 1`` levels of 2x2 switches."""
+        n = max(2, self.num_outputs)
+        return 2 * int(math.ceil(math.log2(n))) + 1
+
+    @property
+    def num_switches(self) -> int:
+        """Total number of tiny 2x2 switches in the Benes topology."""
+        n = max(2, self.num_outputs)
+        return self.levels * (n // 2)
+
+    # ------------------------------------------------------------------
+    # Delivery accounting
+    # ------------------------------------------------------------------
+    def deliver(self, num_elements: int, *, destinations: int = 1) -> float:
+        """Account for delivering ``num_elements`` elements to ``destinations`` multipliers.
+
+        A multicast occupies the network once per source element regardless of
+        fan-out (the Benes tree replicates in the switches), so the cycle cost
+        depends only on the element count and the injection bandwidth.
+        Returns the cycles consumed.
+        """
+        if num_elements < 0 or destinations < 0:
+            raise ValueError("element and destination counts must be non-negative")
+        if num_elements == 0 or destinations == 0:
+            return 0.0
+        if destinations == 1:
+            self.stats.unicasts += num_elements
+        elif destinations >= self.num_outputs:
+            self.stats.broadcasts += num_elements
+        else:
+            self.stats.multicasts += num_elements
+        self.stats.elements_delivered += num_elements
+        cycles = num_elements / self.bandwidth
+        self.stats.cycles += cycles
+        return cycles
+
+    def cycles_for(self, num_elements: int) -> float:
+        """Cycle cost of injecting ``num_elements`` without recording them."""
+        return num_elements / self.bandwidth if num_elements > 0 else 0.0

@@ -1,0 +1,160 @@
+"""Streaming-matrix cache (Section 3.4, "Memory structure for the streaming matrix").
+
+The streaming matrix has the most heterogeneous access pattern of the three
+operands: IP re-streams the whole matrix once per stationary batch, OP reads
+every fiber exactly once and sequentially, and Gustavson gathers fibers in an
+irregular, data-dependent order.  To absorb the worst case the paper backs the
+streaming operand with a read-only set-associative cache that operates on a
+*virtual address space relative to the beginning of the streaming matrix*
+(shorter tags, less bandwidth).
+
+The class below is an exact behavioural model: every element access is mapped
+to a relative line address, looked up in the proper set, and either hits or
+misses (allocating with LRU replacement).  The resulting miss count is what
+produces the Fig. 15 miss rates and the Fig. 16 off-chip traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the streaming cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0 when there were no accesses)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit."""
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    @property
+    def miss_bytes(self) -> int:
+        """Filled later by the owner: bytes fetched from DRAM on misses."""
+        return getattr(self, "_miss_bytes", 0)
+
+
+class StreamingCache:
+    """Read-only set-associative cache with LRU replacement.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total data capacity.
+    line_bytes:
+        Cache line (block) size in bytes.
+    associativity:
+        Ways per set.
+    banks:
+        Number of banks (does not change hit/miss behaviour, but bounds how
+        many concurrent reads per cycle the accelerator model may assume).
+    element_bytes:
+        Size of one matrix element, used by :meth:`access_element`.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int,
+        associativity: int,
+        banks: int = 1,
+        element_bytes: int = 4,
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        if capacity_bytes % line_bytes:
+            raise ValueError("capacity must be a multiple of the line size")
+        num_lines = capacity_bytes // line_bytes
+        if num_lines % associativity:
+            raise ValueError("number of lines must be a multiple of the associativity")
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.banks = banks
+        self.element_bytes = element_bytes
+        self.num_sets = num_lines // associativity
+        # Each set is an OrderedDict of line_tag -> None, most recent last.
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.num_sets * self.associativity
+
+    @property
+    def elements_per_line(self) -> int:
+        """Matrix elements per cache line."""
+        return self.line_bytes // self.element_bytes
+
+    # ------------------------------------------------------------------
+    def access_element(self, element_offset: int) -> bool:
+        """Access the element at ``element_offset`` within the streaming matrix.
+
+        The offset is *relative to the start of the streaming matrix* (the
+        virtual address space of the paper).  Returns True on a hit.
+        """
+        return self.access_byte(element_offset * self.element_bytes)
+
+    def access_byte(self, byte_offset: int) -> bool:
+        """Access one byte address (relative).  Returns True on a hit."""
+        if byte_offset < 0:
+            raise ValueError("byte offset must be non-negative")
+        line_addr = byte_offset // self.line_bytes
+        set_index = line_addr % self.num_sets
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if line_addr in ways:
+            ways.move_to_end(line_addr)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways[line_addr] = None
+        if len(ways) > self.associativity:
+            ways.popitem(last=False)
+        return False
+
+    def access_range(self, start_element: int, num_elements: int) -> int:
+        """Access ``num_elements`` consecutive elements; return the number of misses."""
+        misses = 0
+        for i in range(num_elements):
+            if not self.access_element(start_element + i):
+                misses += 1
+        return misses
+
+    def contains_line_of(self, element_offset: int) -> bool:
+        """True when the line holding ``element_offset`` is resident (no side effects)."""
+        line_addr = (element_offset * self.element_bytes) // self.line_bytes
+        return line_addr in self._sets[line_addr % self.num_sets]
+
+    def invalidate(self) -> None:
+        """Drop all resident lines (used when the streaming operand changes)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters, keeping the resident lines."""
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def miss_traffic_bytes(self) -> int:
+        """Bytes fetched from DRAM: one full line per miss."""
+        return self.stats.misses * self.line_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingCache({self.capacity_bytes}B, line={self.line_bytes}B, "
+            f"{self.associativity}-way, sets={self.num_sets})"
+        )

@@ -1,0 +1,110 @@
+"""Stationary-matrix FIFO (Section 3.4, "Memory structure for the stationary matrix").
+
+The stationary matrix is read exactly once and strictly sequentially in all
+three dataflows, so Flexagon backs it with a small read-only FIFO rather than
+a cache.  The tile filler pushes elements fetched from DRAM; the tile reader
+pops them towards the Distribution Network.  The model below tracks occupancy
+and counts, and lets the accelerator models account for the DRAM fill traffic
+and the (rare) stalls when the reader outpaces the filler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class FifoStats:
+    """Counters of FIFO activity."""
+
+    pushes: int = 0
+    pops: int = 0
+    stall_events: int = 0
+    peak_occupancy: int = 0
+
+
+class StationaryFifo:
+    """A bounded read-once FIFO holding stationary-matrix elements.
+
+    Parameters
+    ----------
+    capacity_elements:
+        Maximum number of elements resident at once (256 bytes / 4 B per
+        element = 64 elements in the Table 5 configuration).
+    """
+
+    def __init__(self, capacity_elements: int) -> None:
+        if capacity_elements < 1:
+            raise ValueError("FIFO capacity must be positive")
+        self.capacity = int(capacity_elements)
+        self._queue: deque = deque()
+        self.stats = FifoStats()
+        #: DRAM byte address register of the stationary matrix; the hardware
+        #: keeps this in a register so fibers are pushed implicitly.
+        self.base_address: int = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of elements currently buffered."""
+        return len(self._queue)
+
+    @property
+    def free_slots(self) -> int:
+        """Remaining capacity in elements."""
+        return self.capacity - len(self._queue)
+
+    def is_full(self) -> bool:
+        """True when no more elements can be pushed."""
+        return len(self._queue) >= self.capacity
+
+    def is_empty(self) -> bool:
+        """True when there is nothing to pop."""
+        return not self._queue
+
+    # ------------------------------------------------------------------
+    def set_base_address(self, address: int) -> None:
+        """Latch the DRAM location of the stationary matrix."""
+        self.base_address = int(address)
+
+    def push(self, element) -> None:
+        """Insert one element arriving from DRAM.
+
+        Raises ``OverflowError`` when the FIFO is full — the tile filler must
+        throttle, which the accelerator model treats as back-pressure on the
+        DRAM stream rather than lost data.
+        """
+        if self.is_full():
+            raise OverflowError("stationary FIFO overflow; filler must throttle")
+        self._queue.append(element)
+        self.stats.pushes += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._queue))
+
+    def pop(self):
+        """Remove and return the oldest element (towards the multipliers)."""
+        if self.is_empty():
+            self.stats.stall_events += 1
+            raise LookupError("stationary FIFO underflow; reader must stall")
+        self.stats.pops += 1
+        return self._queue.popleft()
+
+    def push_fiber(self, fiber) -> int:
+        """Push as many elements of ``fiber`` as fit; return how many were pushed."""
+        pushed = 0
+        for element in fiber:
+            if self.is_full():
+                break
+            self.push(element)
+            pushed += 1
+        return pushed
+
+    def drain(self) -> list:
+        """Pop everything currently buffered (used between tiles)."""
+        out = []
+        while not self.is_empty():
+            out.append(self.pop())
+        return out

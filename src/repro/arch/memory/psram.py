@@ -1,0 +1,241 @@
+"""PSRAM: the partial-sum memory structure (Section 3.4, Fig. 10).
+
+The PSRAM stores the partial-sum fibers the OP and Gustavson dataflows
+generate during the streaming phase and serves them back, fiber by fiber,
+during the merging phase.  Its organisation follows the paper:
+
+* the memory is divided into **sets indexed by output row** (so multiple rows
+  can be produced in parallel),
+* each set is divided into **blocks** (lines); a block holds a *valid bit*,
+  a *K tag* (which k-iteration fiber the block belongs to), ``First``/``Last``
+  registers marking the occupied span, and the block of elements,
+* a fiber whose length exceeds one block simply continues in another free
+  block of the same set tagged with the same K ("way-combining"),
+* ``PartialWrite(row, k, element)`` appends an element to the fiber ``(row, k)``,
+* ``Consume(row, k)`` pops the next element of that fiber (elements are read
+  once and erased; a fully consumed block is invalidated), and
+* multiple banks allow several fibers of the same set to be read in parallel
+  during merging.
+
+When a set runs out of free blocks the accelerator must spill to DRAM; the
+model reports this through :class:`PsramStats.spilled_elements` so the
+accelerator models can charge the extra off-chip traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class PsramStats:
+    """Counters of PSRAM activity."""
+
+    partial_writes: int = 0
+    consumes: int = 0
+    #: Elements that could not be held on chip and had to spill to DRAM.
+    spilled_elements: int = 0
+    #: Blocks allocated over the lifetime of the structure.
+    blocks_allocated: int = 0
+    #: Highest simultaneous block occupancy observed.
+    peak_blocks_in_use: int = 0
+
+
+@dataclass
+class _Block:
+    """One PSRAM block (line)."""
+
+    valid: bool = False
+    #: Output row the stored fiber belongs to (rows sharing a set must not
+    #: alias into each other's blocks).
+    row_tag: int = -1
+    #: k-iteration the stored fiber belongs to (the paper's K register).
+    k_tag: int = -1
+    elements: list = field(default_factory=list)
+    first: int = 0
+
+    @property
+    def last(self) -> int:
+        """Index one past the newest element (the ``Last`` register)."""
+        return len(self.elements)
+
+    def is_consumed(self) -> bool:
+        """True when every stored element has been read back."""
+        return self.valid and self.first >= self.last
+
+
+class Psram:
+    """Behavioural model of the partial-sum SRAM."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_bytes: int,
+        num_sets: int,
+        banks: int = 16,
+        element_bytes: int = 4,
+    ) -> None:
+        if capacity_bytes <= 0 or block_bytes <= 0 or num_sets <= 0:
+            raise ValueError("PSRAM geometry parameters must be positive")
+        if capacity_bytes % block_bytes:
+            raise ValueError("capacity must be a multiple of the block size")
+        total_blocks = capacity_bytes // block_bytes
+        if total_blocks < num_sets:
+            raise ValueError("PSRAM must have at least one block per set")
+        self.capacity_bytes = capacity_bytes
+        self.block_bytes = block_bytes
+        self.num_sets = num_sets
+        self.banks = banks
+        self.element_bytes = element_bytes
+        self.blocks_per_set = total_blocks // num_sets
+        self.elements_per_block = block_bytes // element_bytes
+        self._sets: list[list[_Block]] = [
+            [_Block() for _ in range(self.blocks_per_set)] for _ in range(num_sets)
+        ]
+        self.stats = PsramStats()
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def set_index(self, row: int) -> int:
+        """Map an output row to its PSRAM set."""
+        return row % self.num_sets
+
+    @property
+    def total_blocks(self) -> int:
+        """Total number of blocks across all sets."""
+        return self.num_sets * self.blocks_per_set
+
+    def blocks_in_use(self) -> int:
+        """Number of currently valid blocks."""
+        return sum(1 for s in self._sets for b in s if b.valid)
+
+    def occupancy_bytes(self) -> int:
+        """Bytes of live (unconsumed) partial sums."""
+        return sum(
+            (b.last - b.first) * self.element_bytes
+            for s in self._sets
+            for b in s
+            if b.valid
+        )
+
+    # ------------------------------------------------------------------
+    # PartialWrite
+    # ------------------------------------------------------------------
+    def partial_write(self, row: int, k: int, element) -> bool:
+        """Append ``element`` to the partial fiber ``(row, k)``.
+
+        Returns True when the element was stored on chip and False when the
+        set had no free block and the element spilled to DRAM (the caller is
+        responsible for charging that traffic).
+        """
+        self.stats.partial_writes += 1
+        blocks = self._sets[self.set_index(row)]
+        # Find the newest non-full block already holding this (row, k) fiber.
+        target: _Block | None = None
+        for block in blocks:
+            if (
+                block.valid
+                and block.row_tag == row
+                and block.k_tag == k
+                and block.last < self.elements_per_block
+            ):
+                target = block
+        if target is None:
+            target = self._allocate_block(blocks, row, k)
+        if target is None:
+            self.stats.spilled_elements += 1
+            return False
+        target.elements.append(element)
+        return True
+
+    def _allocate_block(self, blocks: list[_Block], row: int, k: int) -> _Block | None:
+        for block in blocks:
+            if not block.valid:
+                block.valid = True
+                block.row_tag = row
+                block.k_tag = k
+                block.elements = []
+                block.first = 0
+                self.stats.blocks_allocated += 1
+                self.stats.peak_blocks_in_use = max(
+                    self.stats.peak_blocks_in_use, self.blocks_in_use()
+                )
+                return block
+        return None
+
+    # ------------------------------------------------------------------
+    # Consume
+    # ------------------------------------------------------------------
+    def fiber_ks(self, row: int) -> list[int]:
+        """The k tags currently live for ``row`` (what the merge controller scans)."""
+        blocks = self._sets[self.set_index(row)]
+        seen: list[int] = []
+        for block in blocks:
+            if (
+                block.valid
+                and block.row_tag == row
+                and not block.is_consumed()
+                and block.k_tag not in seen
+            ):
+                seen.append(block.k_tag)
+        return seen
+
+    def fiber_length(self, row: int, k: int) -> int:
+        """Remaining unconsumed elements of fiber ``(row, k)``."""
+        blocks = self._sets[self.set_index(row)]
+        return sum(
+            block.last - block.first
+            for block in blocks
+            if block.valid and block.row_tag == row and block.k_tag == k
+        )
+
+    def consume(self, row: int, k: int):
+        """Read and erase the next element of fiber ``(row, k)``.
+
+        Raises ``LookupError`` when the fiber has no unconsumed elements.
+        Consuming the last element of a block clears its valid bit, freeing it
+        for reuse.
+        """
+        blocks = self._sets[self.set_index(row)]
+        for block in blocks:
+            if (
+                block.valid
+                and block.row_tag == row
+                and block.k_tag == k
+                and not block.is_consumed()
+            ):
+                element = block.elements[block.first]
+                block.first += 1
+                self.stats.consumes += 1
+                if block.is_consumed():
+                    block.valid = False
+                    block.row_tag = -1
+                    block.k_tag = -1
+                    block.elements = []
+                    block.first = 0
+                return element
+        raise LookupError(f"no unconsumed elements for row {row}, k {k}")
+
+    def consume_fiber(self, row: int, k: int) -> Iterator:
+        """Yield every remaining element of fiber ``(row, k)``, consuming them."""
+        while self.fiber_length(row, k):
+            yield self.consume(row, k)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Invalidate every block (between tiles / layers), keeping statistics."""
+        for blocks in self._sets:
+            for block in blocks:
+                block.valid = False
+                block.row_tag = -1
+                block.k_tag = -1
+                block.elements = []
+                block.first = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Psram({self.capacity_bytes}B, block={self.block_bytes}B, "
+            f"sets={self.num_sets}, blocks/set={self.blocks_per_set})"
+        )

@@ -1,0 +1,74 @@
+"""Output write buffer: the FIFO that hides DRAM write latency (Section 3.4).
+
+Final output fibers leave the MRN and are written to DRAM through a small
+FIFO so the datapath never stalls on individual DRAM writes.  The model
+tracks how many elements and bytes flowed through it and how often it filled
+up (which exposes DRAM write bandwidth to the datapath).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class WriteBufferStats:
+    """Counters of write-buffer activity."""
+
+    writes: int = 0
+    drains: int = 0
+    full_stalls: int = 0
+    bytes_written: int = 0
+
+
+class WriteBuffer:
+    """A bounded FIFO between the datapath and DRAM for final outputs."""
+
+    def __init__(self, capacity_bytes: int, element_bytes: int = 4) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("write buffer capacity must be positive")
+        self.capacity_elements = max(1, capacity_bytes // element_bytes)
+        self.element_bytes = element_bytes
+        self._queue: deque = deque()
+        self.stats = WriteBufferStats()
+
+    @property
+    def occupancy(self) -> int:
+        """Elements currently buffered."""
+        return len(self._queue)
+
+    def is_full(self) -> bool:
+        """True when a write would have to stall."""
+        return len(self._queue) >= self.capacity_elements
+
+    def write(self, element) -> bool:
+        """Buffer one output element.
+
+        Returns True when accepted immediately and False when the buffer was
+        full and the datapath would have stalled for one drain; in that case
+        the oldest element is drained (written to DRAM) to make room and the
+        new element is then accepted.
+        """
+        accepted = True
+        if self.is_full():
+            self.stats.full_stalls += 1
+            self._drain_one()
+            accepted = False
+        self._queue.append(element)
+        self.stats.writes += 1
+        return accepted
+
+    def _drain_one(self) -> None:
+        if self._queue:
+            self._queue.popleft()
+            self.stats.drains += 1
+            self.stats.bytes_written += self.element_bytes
+
+    def flush(self) -> int:
+        """Drain everything to DRAM; return the number of elements drained."""
+        drained = 0
+        while self._queue:
+            self._drain_one()
+            drained += 1
+        return drained

@@ -1,0 +1,125 @@
+"""Multiplier Network: the array of multiplier switches (Fig. 4c).
+
+Each multiplier switch holds one stationary element in its ``Sta`` register
+and operates in one of two modes:
+
+* **Multiplier mode** — multiply the incoming streamed value by the stationary
+  value and forward the product (plus the output coordinate) to the MRN.
+  Used throughout IP execution and during the streaming phase of OP / Gust.
+* **Forwarder mode** — pass the incoming element through unchanged, which is
+  how partial sums re-enter the MRN from the PSRAM during the merging phase
+  of OP / Gust.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sparse.fiber import Element
+
+
+class MultiplierMode(enum.Enum):
+    """Operating mode of one multiplier switch."""
+
+    MULTIPLIER = "multiplier"
+    FORWARDER = "forwarder"
+    IDLE = "idle"
+
+
+@dataclass
+class MultiplierStats:
+    """Work counters for one multiplier switch (or the whole network)."""
+
+    multiplications: int = 0
+    forwards: int = 0
+    stationary_loads: int = 0
+
+
+class MultiplierSwitch:
+    """One multiplier switch of the Multiplier Network."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.mode = MultiplierMode.IDLE
+        #: The stationary operand value kept in the ``Sta`` register.
+        self.stationary_value: float | None = None
+        #: Coordinate metadata associated with the stationary element (e.g. the
+        #: row and k of an A element in the OP dataflow).
+        self.stationary_coord: tuple[int, ...] | None = None
+        self.stats = MultiplierStats()
+
+    # ------------------------------------------------------------------
+    def configure(self, mode: MultiplierMode) -> None:
+        """Set the operating mode for the next phase."""
+        self.mode = mode
+
+    def load_stationary(self, value: float, coord: tuple[int, ...] | None = None) -> None:
+        """Latch a stationary element (the stationary phase)."""
+        self.stationary_value = float(value)
+        self.stationary_coord = coord
+        self.stats.stationary_loads += 1
+
+    def clear_stationary(self) -> None:
+        """Drop the stationary element (between iterations)."""
+        self.stationary_value = None
+        self.stationary_coord = None
+
+    # ------------------------------------------------------------------
+    def process(self, element: Element) -> Element:
+        """Consume one streamed element and produce the element sent to the MRN."""
+        if self.mode is MultiplierMode.MULTIPLIER:
+            if self.stationary_value is None:
+                raise RuntimeError(
+                    f"multiplier {self.index} has no stationary value loaded"
+                )
+            self.stats.multiplications += 1
+            return Element(element.coord, element.value * self.stationary_value)
+        if self.mode is MultiplierMode.FORWARDER:
+            self.stats.forwards += 1
+            return element
+        raise RuntimeError(f"multiplier {self.index} is idle and received data")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiplierSwitch({self.index}, {self.mode.value})"
+
+
+class MultiplierNetwork:
+    """The linear array of multiplier switches."""
+
+    def __init__(self, num_multipliers: int) -> None:
+        if num_multipliers < 1:
+            raise ValueError("the multiplier network needs at least one switch")
+        self.switches = [MultiplierSwitch(i) for i in range(num_multipliers)]
+
+    def __len__(self) -> int:
+        return len(self.switches)
+
+    def __getitem__(self, index: int) -> MultiplierSwitch:
+        return self.switches[index]
+
+    def configure_all(self, mode: MultiplierMode) -> None:
+        """Put every switch in the same mode (typical per-phase configuration)."""
+        for switch in self.switches:
+            switch.configure(mode)
+
+    def load_stationary_elements(
+        self, elements: list[tuple[float, tuple[int, ...]]]
+    ) -> int:
+        """Load up to ``len(self)`` stationary elements, returning how many fit."""
+        count = min(len(elements), len(self.switches))
+        for i in range(count):
+            value, coord = elements[i]
+            self.switches[i].load_stationary(value, coord)
+        for i in range(count, len(self.switches)):
+            self.switches[i].clear_stationary()
+        return count
+
+    def total_stats(self) -> MultiplierStats:
+        """Aggregate the per-switch counters."""
+        total = MultiplierStats()
+        for switch in self.switches:
+            total.multiplications += switch.stats.multiplications
+            total.forwards += switch.stats.forwards
+            total.stationary_loads += switch.stats.stationary_loads
+        return total

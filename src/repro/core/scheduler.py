@@ -1,0 +1,129 @@
+"""End-to-end DNN execution: a chain of SpMSpM layers on one accelerator.
+
+The scheduler reproduces the end-to-end evaluation of the paper (Fig. 12,
+Fig. 18): it walks the layers of a DNN model in order, lets the accelerator
+choose (or forces) a dataflow per layer, tracks the layout in which each
+layer's activations arrive — the output layout of the previous layer — and
+charges an explicit format conversion whenever a fixed-dataflow design is
+forced into an illegal transition of Table 4.  Flexagon, by construction,
+chains dataflows so that conversions are never needed (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerators.base import Accelerator
+from repro.dataflows.base import Dataflow
+from repro.dataflows.transitions import produced_layout, required_activation_layout
+from repro.metrics.results import LayerSimResult, ModelSimResult
+from repro.sparse.convert import explicit_conversion_cost
+from repro.sparse.formats import CompressedMatrix, Layout
+
+
+@dataclass
+class LayerExecution:
+    """One layer of a DNN model ready for execution.
+
+    Attributes
+    ----------
+    a:
+        The activation operand (output of the previous layer or the model
+        input).
+    b:
+        The weight operand (assumed available offline in both layouts, as the
+        paper does).
+    name:
+        Layer label used in reports.
+    """
+
+    a: CompressedMatrix
+    b: CompressedMatrix
+    name: str = ""
+
+
+@dataclass
+class DnnScheduler:
+    """Runs a chain of layers on an accelerator, tracking format transitions."""
+
+    accelerator: Accelerator
+    #: Extra cycles charged per byte moved by an explicit format conversion
+    #: (a DRAM round trip at the configured bandwidth).
+    conversion_overhead_enabled: bool = True
+    #: When False the scheduler does not constrain dataflow selection by the
+    #: incoming activation layout and never charges conversions.  This models
+    #: the paper's assumption that the mapper plans variants globally (and
+    #: that weights are stored offline in both formats), so transitions are
+    #: always conversion-free.
+    track_activation_layout: bool = True
+    #: Layout the very first layer's activations are stored in off chip.
+    initial_activation_layout: Layout = Layout.CSR
+    #: Per-layer dataflow overrides (layer index -> dataflow).
+    forced_dataflows: dict[int, Dataflow] = field(default_factory=dict)
+
+    def run_model(
+        self,
+        layers: list[LayerExecution],
+        *,
+        model_name: str = "",
+        capture_outputs: bool = False,
+    ) -> ModelSimResult:
+        """Execute every layer in order and return the aggregated result."""
+        result = ModelSimResult(
+            accelerator=self.accelerator.name, model_name=model_name
+        )
+        activation_layout = self.initial_activation_layout
+        for index, layer in enumerate(layers):
+            dataflow = self.forced_dataflows.get(index)
+            if dataflow is None:
+                dataflow = self._choose(
+                    layer, activation_layout if self.track_activation_layout else None
+                )
+            layer_result = self.accelerator.run_layer(
+                layer.a,
+                layer.b,
+                dataflow=dataflow,
+                capture_output=capture_outputs,
+                layer_name=layer.name or f"layer{index}",
+            )
+            if self.track_activation_layout:
+                self._charge_conversion_if_needed(
+                    layer, layer_result, dataflow, activation_layout, result
+                )
+            result.layer_results.append(layer_result)
+            activation_layout = produced_layout(dataflow)
+        return result
+
+    # ------------------------------------------------------------------
+    def _choose(
+        self, layer: LayerExecution, activation_layout: Layout | None
+    ) -> Dataflow:
+        """Ask the accelerator for a dataflow, passing the layout context."""
+        chooser = self.accelerator.choose_dataflow
+        try:
+            return chooser(layer.a, layer.b, activation_layout=activation_layout)
+        except TypeError:
+            # Fixed-dataflow designs only expose the produced-layout knob.
+            return chooser(layer.a, layer.b)
+
+    def _charge_conversion_if_needed(
+        self,
+        layer: LayerExecution,
+        layer_result: LayerSimResult,
+        dataflow: Dataflow,
+        activation_layout: Layout,
+        result: ModelSimResult,
+    ) -> None:
+        """Add the cost of an explicit activation-format conversion, if required."""
+        needed = required_activation_layout(dataflow)
+        if needed is activation_layout:
+            return
+        result.explicit_conversions += 1
+        if not self.conversion_overhead_enabled:
+            return
+        cost = explicit_conversion_cost(layer.a)
+        result.conversion_bytes += cost.bytes_moved
+        config = self.accelerator.config
+        extra_cycles = cost.bytes_moved / config.dram_bytes_per_cycle
+        layer_result.cycles.stationary += extra_cycles
+        layer_result.traffic.offchip_bytes += cost.bytes_moved

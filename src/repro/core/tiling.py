@@ -1,0 +1,117 @@
+"""Tiling: splitting a layer that does not fit the on-chip memories.
+
+The mapper/compiler (Fig. 3b, phase 1) emits not only the dataflow but also a
+tiling scheme; the runtime phases then repeat once per tile.  The relevant
+capacity constraints are:
+
+* the stationary operand only needs FIFO-sized buffering (it streams through
+  once), so it never forces tiling by itself;
+* the streaming operand should ideally fit the 1 MiB streaming cache — when
+  it does not, either the dataflow tolerates the misses (OP reads it once;
+  Gust pays per-fiber misses) or the layer is tiled along the dimension that
+  shrinks the streaming working set; and
+* the partial-sum footprint of OP/Gust should fit the PSRAM.
+
+:func:`plan_tiling` produces a :class:`TilingPlan` describing how many tiles
+each dimension is cut into for a given dataflow, mirroring what the paper's
+offline analysis would feed the control logic.  The scheduler uses it to
+repeat the engine's phases per tile; the engine itself also tolerates
+untilable layers by spilling, so the plan is an optimisation, not a
+correctness requirement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import AcceleratorConfig, default_config
+from repro.dataflows.base import Dataflow, DataflowClass
+from repro.sparse.formats import CompressedMatrix, Layout
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """How a layer is cut into tiles for execution."""
+
+    dataflow: Dataflow
+    #: Number of tiles along the stationary-operand major dimension.
+    stationary_tiles: int
+    #: Number of tiles along the streaming-operand major dimension.
+    streaming_tiles: int
+    #: Estimated streaming-operand bytes per tile.
+    streaming_bytes_per_tile: int
+    #: Estimated partial-sum bytes per tile (OP/Gust only).
+    psum_bytes_per_tile: int
+
+    @property
+    def num_tiles(self) -> int:
+        """Total number of execution tiles."""
+        return self.stationary_tiles * self.streaming_tiles
+
+    def fits_on_chip(self, config: AcceleratorConfig) -> bool:
+        """True when each tile's working set fits the streaming cache and PSRAM."""
+        return (
+            self.streaming_bytes_per_tile <= config.str_cache_bytes
+            and self.psum_bytes_per_tile <= config.psram_bytes
+        )
+
+
+def plan_tiling(
+    dataflow: Dataflow,
+    a: CompressedMatrix,
+    b: CompressedMatrix,
+    config: AcceleratorConfig | None = None,
+) -> TilingPlan:
+    """Compute a tiling plan for ``C = A x B`` under ``dataflow``.
+
+    The plan cuts the streaming operand's major dimension until each tile's
+    compressed size fits the streaming cache, and (for OP/Gust) cuts the
+    stationary operand's major dimension until the expected partial-sum
+    footprint of a tile fits the PSRAM.
+    """
+    config = config or default_config()
+    element_bytes = config.element_bytes
+
+    a_csr = a if a.layout is Layout.CSR else a.with_layout(Layout.CSR)
+    b_csr = b if b.layout is Layout.CSR else b.with_layout(Layout.CSR)
+    b_bytes = b_csr.nnz * element_bytes
+
+    # Streaming tiles: shrink the streaming working set to the cache size.
+    streaming_tiles = max(1, math.ceil(b_bytes / config.str_cache_bytes))
+    streaming_bytes_per_tile = math.ceil(b_bytes / streaming_tiles) if b_bytes else 0
+
+    # Partial-sum footprint per stationary tile.
+    if dataflow.dataflow_class is DataflowClass.INNER_PRODUCT:
+        psum_bytes = 0
+    else:
+        b_row_nnz = np.diff(b_csr.pointers)
+        a_ks = np.asarray(a_csr.indices, dtype=np.int64)
+        multiplications = int(b_row_nnz[a_ks].sum()) if len(a_ks) else 0
+        if dataflow.dataflow_class is DataflowClass.OUTER_PRODUCT:
+            # Every product is a partial sum held until the merge phase.
+            psum_bytes = multiplications * element_bytes
+        else:
+            # Gustavson only spills rows whose stationary fiber exceeds the
+            # multiplier array; bound the footprint by the widest row's output.
+            a_row_nnz = np.diff(a_csr.pointers)
+            spill_rows = a_row_nnz > config.num_multipliers
+            if spill_rows.any():
+                psum_bytes = int(
+                    (np.minimum(a_row_nnz[spill_rows], config.num_multipliers)).sum()
+                ) * element_bytes
+            else:
+                psum_bytes = 0
+
+    stationary_tiles = max(1, math.ceil(psum_bytes / config.psram_bytes)) if psum_bytes else 1
+    psum_bytes_per_tile = math.ceil(psum_bytes / stationary_tiles) if psum_bytes else 0
+
+    return TilingPlan(
+        dataflow=dataflow,
+        stationary_tiles=stationary_tiles,
+        streaming_tiles=streaming_tiles,
+        streaming_bytes_per_tile=streaming_bytes_per_tile,
+        psum_bytes_per_tile=psum_bytes_per_tile,
+    )

@@ -1,0 +1,46 @@
+"""Functional implementations of the six SpMSpM dataflows (Section 2.2).
+
+Each dataflow module executes the SpMSpM computation exactly as the loop nest
+of Fig. 2 prescribes, produces the output matrix in the format Table 3
+specifies, and records the operation counts (multiplications, intersections,
+partial-sum writes/reads, merge comparisons) that the accelerator models later
+turn into cycles and traffic.
+
+These implementations are the *algorithmic ground truth* for the hardware
+models: the accelerators consume the same element streams, so any divergence
+between the two layers is a bug.
+"""
+
+from repro.dataflows.base import (
+    Dataflow,
+    DataflowClass,
+    DataflowProperties,
+    DATAFLOW_PROPERTIES,
+    taxonomy_table,
+)
+from repro.dataflows.stats import DataflowStats
+from repro.dataflows.inner_product import run_inner_product
+from repro.dataflows.outer_product import run_outer_product
+from repro.dataflows.gustavson import run_gustavson
+from repro.dataflows.runner import run_dataflow
+from repro.dataflows.transitions import (
+    TransitionTable,
+    requires_explicit_conversion,
+    transition_table,
+)
+
+__all__ = [
+    "Dataflow",
+    "DataflowClass",
+    "DataflowProperties",
+    "DATAFLOW_PROPERTIES",
+    "taxonomy_table",
+    "DataflowStats",
+    "run_inner_product",
+    "run_outer_product",
+    "run_gustavson",
+    "run_dataflow",
+    "TransitionTable",
+    "requires_explicit_conversion",
+    "transition_table",
+]

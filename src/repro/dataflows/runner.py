@@ -1,0 +1,34 @@
+"""Dispatch helper that runs any of the six dataflows by name."""
+
+from __future__ import annotations
+
+from repro.dataflows.base import Dataflow, DataflowClass
+from repro.dataflows.gustavson import run_gustavson
+from repro.dataflows.inner_product import run_inner_product
+from repro.dataflows.outer_product import run_outer_product
+from repro.dataflows.stats import DataflowResult
+from repro.sparse.formats import CompressedMatrix
+
+
+def run_dataflow(
+    dataflow: Dataflow | str,
+    a: CompressedMatrix,
+    b: CompressedMatrix,
+    *,
+    num_multipliers: int = 64,
+) -> DataflowResult:
+    """Execute ``C = A x B`` using the requested dataflow variant.
+
+    ``dataflow`` may be a :class:`Dataflow` member or any name accepted by
+    :meth:`Dataflow.from_name` (e.g. ``"IP_M"``, ``"Gust(N)"``, ``"KMN"``).
+    """
+    if isinstance(dataflow, str):
+        dataflow = Dataflow.from_name(dataflow)
+    n_stationary = dataflow.is_n_stationary
+    runners = {
+        DataflowClass.INNER_PRODUCT: run_inner_product,
+        DataflowClass.OUTER_PRODUCT: run_outer_product,
+        DataflowClass.GUSTAVSON: run_gustavson,
+    }
+    runner = runners[dataflow.dataflow_class]
+    return runner(a, b, num_multipliers=num_multipliers, n_stationary=n_stationary)

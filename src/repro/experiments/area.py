@@ -1,0 +1,33 @@
+"""Area / power experiment helpers (Table 8 and Fig. 17)."""
+
+from __future__ import annotations
+
+from repro.accelerators.area_power import (
+    accelerator_area_power,
+    naive_triple_network_area,
+)
+from repro.arch.config import AcceleratorConfig
+
+_DESIGNS = ("SIGMA-like", "SpArch-like", "GAMMA-like", "Flexagon")
+
+
+def area_power_rows(config: AcceleratorConfig | None = None) -> list[dict[str, object]]:
+    """Rows of Table 8: per-component area and power for the four designs."""
+    return [accelerator_area_power(design, config).as_row() for design in _DESIGNS]
+
+
+def naive_comparison_rows(config: AcceleratorConfig | None = None) -> list[dict[str, object]]:
+    """Rows of Fig. 17b: Flexagon vs the naive triple-network design."""
+    comparison = naive_triple_network_area(config)
+    rows = []
+    for design, split in comparison.items():
+        rows.append(
+            {
+                "design": design,
+                "datapath_mm2": split["datapath"],
+                "sram_mm2": split["sram"],
+                "mux_demux_mm2": split["mux_demux"],
+                "total_mm2": sum(split.values()),
+            }
+        )
+    return rows

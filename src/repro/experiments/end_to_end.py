@@ -1,0 +1,266 @@
+"""End-to-end experiments over the eight DNN models (Figs. 1, 12, 18 and Table 2).
+
+One call to :func:`run_end_to_end` executes (a sampled, scaled version of)
+every model on the CPU baseline and the four accelerator designs; the
+per-figure ``*_rows`` helpers then turn the shared results into the rows each
+figure or table reports.  Results are cached per settings object.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.accelerators import (
+    CpuMklLikeBaseline,
+    FlexagonAccelerator,
+    GammaLikeAccelerator,
+    SigmaLikeAccelerator,
+    SparchLikeAccelerator,
+    accelerator_area_power,
+)
+from repro.core.scheduler import DnnScheduler, LayerExecution
+from repro.core.mapper import OracleMapper
+from repro.experiments.settings import ExperimentSettings, default_settings
+from repro.metrics.results import ModelSimResult, geometric_mean
+from repro.workloads.layers import LayerSpec, materialize_layer
+from repro.workloads.models import MODEL_REGISTRY, ModelSpec
+
+DESIGN_ORDER = ("SIGMA-like", "SpArch-like", "GAMMA-like", "Flexagon")
+
+_DESIGN_CLASSES = {
+    "SIGMA-like": SigmaLikeAccelerator,
+    "SpArch-like": SparchLikeAccelerator,
+    "GAMMA-like": GammaLikeAccelerator,
+    "Flexagon": FlexagonAccelerator,
+}
+
+
+def _build_design(design: str, config):
+    """Instantiate one design; Flexagon gets the oracle mapper.
+
+    The paper configures Flexagon with the most suitable dataflow per layer
+    (the offline mapper/compiler of Fig. 3b); the oracle mapper reproduces
+    that by simulating the candidate dataflows and picking the fastest.
+    """
+    if design == "Flexagon":
+        return FlexagonAccelerator(config, mapper=OracleMapper(config))
+    return _DESIGN_CLASSES[design](config)
+
+
+@dataclass
+class EndToEndResults:
+    """End-to-end results for every model and design (plus the CPU baseline)."""
+
+    settings: ExperimentSettings
+    #: ``accelerator_results[model_short_name][design]`` -> :class:`ModelSimResult`.
+    accelerator_results: dict[str, dict[str, ModelSimResult]]
+    #: CPU cycles per model (model short name -> cycles of the sampled chain).
+    cpu_cycles: dict[str, float]
+    #: CPU seconds per model.
+    cpu_seconds: dict[str, float]
+    #: Number of layers actually simulated per model (after sampling).
+    sampled_layers: dict[str, int]
+    #: Extrapolation factor (total layers / sampled layers) per model.
+    extrapolation: dict[str, float]
+    #: The (scaled) accelerator configuration used for each model.
+    configs: dict[str, "object"] = None
+
+    def model_names(self) -> list[str]:
+        """Model short names in Table 2 order."""
+        return list(self.accelerator_results)
+
+    def accelerator_seconds(self, model: str, design: str) -> float:
+        """Wall-clock seconds of one design on one model (sampled chain)."""
+        cycles = self.accelerator_results[model][design].total_cycles
+        return self.settings.config.cycles_to_seconds(cycles)
+
+    def accelerator_seconds_full_size(self, model: str, design: str) -> float:
+        """Estimated seconds of the *full-size* (Table 5) datapath on the same work.
+
+        Scaled runs use a datapath shrunk by ``scaled_multipliers / 64``; the
+        accelerator's cycle count is throughput-bound, so the full-size design
+        would finish the same (scaled) workload roughly that factor faster.
+        The CPU baseline is never scaled, so Fig. 12's CPU-relative speed-ups
+        use this estimate.
+        """
+        seconds = self.accelerator_seconds(model, design)
+        config = (self.configs or {}).get(model, self.settings.config)
+        datapath_fraction = config.num_multipliers / self.settings.config.num_multipliers
+        return seconds * datapath_fraction
+
+
+def _sample_layers(model: ModelSpec, max_layers: int) -> list[LayerSpec]:
+    """Evenly sample up to ``max_layers`` layers of a model, keeping order."""
+    layers = list(model.layers)
+    if len(layers) <= max_layers:
+        return layers
+    step = len(layers) / max_layers
+    return [layers[int(i * step)] for i in range(max_layers)]
+
+
+@functools.lru_cache(maxsize=4)
+def _cached_run(settings: ExperimentSettings) -> EndToEndResults:
+    accelerator_results: dict[str, dict[str, ModelSimResult]] = {}
+    cpu_cycles: dict[str, float] = {}
+    cpu_seconds: dict[str, float] = {}
+    sampled_counts: dict[str, int] = {}
+    extrapolation: dict[str, float] = {}
+    configs: dict[str, object] = {}
+    cpu = CpuMklLikeBaseline()
+
+    for short_name, model in MODEL_REGISTRY.items():
+        sampled = _sample_layers(model, settings.max_layers_per_model)
+        sampled_counts[short_name] = len(sampled)
+        extrapolation[short_name] = model.num_layers / len(sampled)
+
+        # One common scale per model keeps successive layers chainable.
+        scale = min(settings.layer_scale(spec) for spec in sampled)
+        config = settings.scaled_config(scale)
+        configs[short_name] = config
+
+        executions = []
+        operands = []
+        for spec in sampled:
+            a, b = materialize_layer(
+                spec, scale=scale, seed=spec.deterministic_seed(settings.seed_salt)
+            )
+            executions.append(LayerExecution(a=a, b=b, name=spec.name))
+            operands.append((a, b))
+
+        per_design: dict[str, ModelSimResult] = {}
+        for design in DESIGN_ORDER:
+            accelerator = _build_design(design, config)
+            # Weights are stored offline in both formats and the mapper plans
+            # the M/N variants globally, so chains never need conversions
+            # (Section 3.3); selection is therefore unconstrained here.
+            scheduler = DnnScheduler(accelerator, track_activation_layout=False)
+            per_design[design] = scheduler.run_model(executions, model_name=model.name)
+        accelerator_results[short_name] = per_design
+
+        cpu_total = cpu.run_model(operands)
+        cpu_cycles[short_name] = cpu_total.cycles
+        cpu_seconds[short_name] = cpu_total.seconds
+
+    return EndToEndResults(
+        settings=settings,
+        accelerator_results=accelerator_results,
+        cpu_cycles=cpu_cycles,
+        cpu_seconds=cpu_seconds,
+        sampled_layers=sampled_counts,
+        extrapolation=extrapolation,
+        configs=configs,
+    )
+
+
+def run_end_to_end(settings: ExperimentSettings | None = None) -> EndToEndResults:
+    """Execute the eight models on the CPU and the four designs (cached)."""
+    return _cached_run(settings or default_settings())
+
+
+# ----------------------------------------------------------------------
+# Figure 12: end-to-end speed-up over the CPU baseline
+# ----------------------------------------------------------------------
+def end_to_end_speedup_rows(results: EndToEndResults) -> list[dict[str, object]]:
+    """Rows of Fig. 12: per model, each design's speed-up over CPU MKL (in time)."""
+    rows = []
+    for model in results.model_names():
+        cpu_time = results.cpu_seconds[model]
+        row: dict[str, object] = {"model": model, "CPU-MKL": 1.0}
+        for design in DESIGN_ORDER:
+            accel_time = results.accelerator_seconds_full_size(model, design)
+            row[design] = cpu_time / accel_time if accel_time else float("inf")
+        rows.append(row)
+    geo: dict[str, object] = {"model": "GEOMEAN", "CPU-MKL": 1.0}
+    for design in DESIGN_ORDER:
+        geo[design] = geometric_mean([float(row[design]) for row in rows])
+    rows.append(geo)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 18: performance / area
+# ----------------------------------------------------------------------
+def performance_per_area_rows(results: EndToEndResults) -> list[dict[str, object]]:
+    """Rows of Fig. 18: speed-up over SIGMA-like divided by normalised area."""
+    areas = {design: accelerator_area_power(design, results.settings.config).total_area
+             for design in DESIGN_ORDER}
+    sigma_area = areas["SIGMA-like"]
+    rows = []
+    for model in results.model_names():
+        sigma_cycles = results.accelerator_results[model]["SIGMA-like"].total_cycles
+        row: dict[str, object] = {"model": model}
+        for design in DESIGN_ORDER:
+            cycles = results.accelerator_results[model][design].total_cycles
+            speedup = sigma_cycles / cycles if cycles else float("inf")
+            normalised_area = areas[design] / sigma_area
+            row[design] = speedup / normalised_area
+        rows.append(row)
+    geo: dict[str, object] = {"model": "GEOMEAN"}
+    for design in DESIGN_ORDER:
+        geo[design] = geometric_mean([float(row[design]) for row in rows])
+    rows.append(geo)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 1: best dataflow per layer
+# ----------------------------------------------------------------------
+def best_dataflow_per_layer_rows(results: EndToEndResults) -> list[dict[str, object]]:
+    """Rows of Fig. 1: for every simulated layer, which dataflow family wins.
+
+    The winner is determined exactly as in the paper: by comparing the cycles
+    of the three fixed-dataflow designs on that layer.
+    """
+    rows = []
+    for model in results.model_names():
+        per_design = results.accelerator_results[model]
+        num_layers = len(per_design["SIGMA-like"].layer_results)
+        for index in range(num_layers):
+            cycles = {
+                "IP": per_design["SIGMA-like"].layer_results[index].total_cycles,
+                "OP": per_design["SpArch-like"].layer_results[index].total_cycles,
+                "Gust": per_design["GAMMA-like"].layer_results[index].total_cycles,
+            }
+            winner = min(cycles, key=cycles.get)
+            rows.append(
+                {
+                    "model": model,
+                    "layer": per_design["SIGMA-like"].layer_results[index].layer_name,
+                    "best": winner,
+                    "ip_cycles": cycles["IP"],
+                    "op_cycles": cycles["OP"],
+                    "gust_cycles": cycles["Gust"],
+                    "flexagon_choice": per_design["Flexagon"]
+                    .layer_results[index]
+                    .dataflow.dataflow_class.value,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2: model statistics
+# ----------------------------------------------------------------------
+def model_statistics_rows(results: EndToEndResults) -> list[dict[str, object]]:
+    """Rows of Table 2: per model, layer counts, sparsities, sizes and CPU cycles."""
+    rows = []
+    for short_name, model in MODEL_REGISTRY.items():
+        cs_a = [spec.expected_compressed_bytes_a() / 2**20 for spec in model.layers]
+        cs_b = [spec.expected_compressed_bytes_b() / 2**20 for spec in model.layers]
+        rows.append(
+            {
+                "model": f"{model.name} ({short_name})",
+                "domain": model.domain,
+                "layers": model.num_layers,
+                "AvSpA(%)": round(100 * model.table2_activation_sparsity, 2),
+                "AvSpB(%)": round(100 * model.table2_weight_sparsity, 2),
+                "AvCsA(MiB)": sum(cs_a) / len(cs_a),
+                "AvCsB(MiB)": sum(cs_b) / len(cs_b),
+                "MaxCsA(MiB)": max(cs_a),
+                "MaxCsB(MiB)": max(cs_b),
+                "paper CPU cycles (1e6)": model.table2_cpu_megacycles,
+                "model CPU cycles (1e6, sampled+scaled)": results.cpu_cycles[short_name] / 1e6,
+            }
+        )
+    return rows

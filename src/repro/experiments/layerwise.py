@@ -1,0 +1,187 @@
+"""Layer-wise experiments over the nine Table 6 layers (Figs. 13, 14, 15, 16).
+
+One call to :func:`run_layerwise_comparison` simulates every representative
+layer on the four accelerator designs; the per-figure ``*_rows`` helpers then
+slice the same results into the rows each figure plots.  Results are cached
+per settings object so the four benchmark files do not redo the simulation.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.accelerators import (
+    FlexagonAccelerator,
+    GammaLikeAccelerator,
+    SigmaLikeAccelerator,
+    SparchLikeAccelerator,
+)
+from repro.core.mapper import OracleMapper
+from repro.experiments.settings import ExperimentSettings, default_settings
+from repro.metrics.results import LayerSimResult
+from repro.workloads.layers import materialize_layer
+from repro.workloads.representative import REPRESENTATIVE_LAYERS, representative_layer_names
+
+#: The four hardware designs of the paper's comparison, in plot order.
+DESIGN_ORDER = ("SIGMA-like", "SpArch-like", "GAMMA-like", "Flexagon")
+
+_DESIGN_CLASSES = {
+    "SIGMA-like": SigmaLikeAccelerator,
+    "SpArch-like": SparchLikeAccelerator,
+    "GAMMA-like": GammaLikeAccelerator,
+    "Flexagon": FlexagonAccelerator,
+}
+
+
+def _build_design(design: str, config):
+    """Instantiate one design; Flexagon gets the oracle mapper.
+
+    The paper configures Flexagon with the most suitable dataflow per layer
+    (the offline mapper/compiler of Fig. 3b); the oracle mapper reproduces
+    that by simulating the candidate dataflows and picking the fastest.
+    """
+    if design == "Flexagon":
+        return FlexagonAccelerator(config, mapper=OracleMapper(config))
+    return _DESIGN_CLASSES[design](config)
+
+
+@dataclass
+class LayerwiseResults:
+    """Simulation results for every (layer, design) pair."""
+
+    settings: ExperimentSettings
+    #: ``results[layer_name][design_name]`` -> :class:`LayerSimResult`.
+    results: dict[str, dict[str, LayerSimResult]]
+    #: Scale factor applied to each layer.
+    scales: dict[str, float]
+
+    def layer_names(self) -> list[str]:
+        """Layers in Table 6 order."""
+        return list(self.results)
+
+    def result(self, layer: str, design: str) -> LayerSimResult:
+        """The result record of one (layer, design) pair."""
+        return self.results[layer][design]
+
+
+@functools.lru_cache(maxsize=4)
+def _cached_run(settings: ExperimentSettings) -> LayerwiseResults:
+    results: dict[str, dict[str, LayerSimResult]] = {}
+    scales: dict[str, float] = {}
+    for spec in REPRESENTATIVE_LAYERS:
+        scale = settings.layer_scale(spec)
+        scales[spec.name] = scale
+        config = settings.scaled_config(scale)
+        a, b = materialize_layer(spec, scale=scale, seed=spec.deterministic_seed(settings.seed_salt))
+        per_design: dict[str, LayerSimResult] = {}
+        for design in DESIGN_ORDER:
+            accelerator = _build_design(design, config)
+            per_design[design] = accelerator.run_layer(a, b, layer_name=spec.name)
+        results[spec.name] = per_design
+    return LayerwiseResults(settings=settings, results=results, scales=scales)
+
+
+def run_layerwise_comparison(
+    settings: ExperimentSettings | None = None,
+) -> LayerwiseResults:
+    """Simulate the nine Table 6 layers on the four designs (cached)."""
+    return _cached_run(settings or default_settings())
+
+
+# ----------------------------------------------------------------------
+# Figure 13: layer-wise speed-up, split into multiplying and merging phases
+# ----------------------------------------------------------------------
+def layerwise_speedup_rows(results: LayerwiseResults) -> list[dict[str, object]]:
+    """Rows of Fig. 13: per layer and design, speed-up vs the SIGMA-like design."""
+    rows = []
+    for layer in results.layer_names():
+        baseline = results.result(layer, "SIGMA-like").total_cycles
+        for design in DESIGN_ORDER:
+            record = results.result(layer, design)
+            total = record.total_cycles
+            rows.append(
+                {
+                    "layer": layer,
+                    "design": design,
+                    "dataflow": record.dataflow.name,
+                    "cycles": total,
+                    "speedup_vs_sigma": baseline / total if total else 0.0,
+                    "mult_fraction": (
+                        (record.cycles.stationary + record.cycles.streaming) / total
+                        if total
+                        else 0.0
+                    ),
+                    "merge_fraction": record.cycles.merging / total if total else 0.0,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14: on-chip memory traffic breakdown
+# ----------------------------------------------------------------------
+def onchip_traffic_rows(results: LayerwiseResults) -> list[dict[str, object]]:
+    """Rows of Fig. 14: STA / STR / psum on-chip traffic per layer and design (MB)."""
+    rows = []
+    for layer in results.layer_names():
+        for design in DESIGN_ORDER:
+            record = results.result(layer, design)
+            rows.append(
+                {
+                    "layer": layer,
+                    "design": design,
+                    "sta_mb": record.traffic.sta_bytes / 1e6,
+                    "str_mb": record.traffic.str_bytes / 1e6,
+                    "psum_mb": record.traffic.psum_bytes / 1e6,
+                    "total_mb": record.traffic.onchip_bytes / 1e6,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 15: streaming-cache miss rate
+# ----------------------------------------------------------------------
+def miss_rate_rows(results: LayerwiseResults) -> list[dict[str, object]]:
+    """Rows of Fig. 15: STR cache miss rate (%) per layer and design."""
+    rows = []
+    for layer in results.layer_names():
+        for design in DESIGN_ORDER:
+            record = results.result(layer, design)
+            rows.append(
+                {
+                    "layer": layer,
+                    "design": design,
+                    "miss_rate_pct": 100.0 * record.str_cache_miss_rate,
+                    "accesses": record.str_cache_accesses,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 16: off-chip traffic
+# ----------------------------------------------------------------------
+def offchip_traffic_rows(results: LayerwiseResults) -> list[dict[str, object]]:
+    """Rows of Fig. 16: off-chip (STR cache <-> DRAM) traffic per layer and design (KB)."""
+    rows = []
+    for layer in results.layer_names():
+        for design in DESIGN_ORDER:
+            record = results.result(layer, design)
+            dram = getattr(record, "dram", None)
+            str_read = dram.str_read_bytes if dram else 0
+            rows.append(
+                {
+                    "layer": layer,
+                    "design": design,
+                    "offchip_kb": str_read / 1e3,
+                    "total_dram_kb": record.traffic.offchip_bytes / 1e3,
+                }
+            )
+    return rows
+
+
+def expected_layer_names() -> list[str]:
+    """The Table 6 layer names (re-exported for the benchmark assertions)."""
+    return representative_layer_names()

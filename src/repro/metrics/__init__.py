@@ -1,0 +1,22 @@
+"""Result records and report formatting for simulations and benchmarks."""
+
+from repro.metrics.results import (
+    LayerSimResult,
+    ModelSimResult,
+    PhaseCycles,
+    TrafficBreakdown,
+    geometric_mean,
+    speedup,
+)
+from repro.metrics.reporting import format_table, format_markdown_table
+
+__all__ = [
+    "LayerSimResult",
+    "ModelSimResult",
+    "PhaseCycles",
+    "TrafficBreakdown",
+    "geometric_mean",
+    "speedup",
+    "format_table",
+    "format_markdown_table",
+]

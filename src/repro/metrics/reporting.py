@@ -1,0 +1,87 @@
+"""Plain-text table formatting used by the benchmark harness and examples.
+
+The benchmark scripts print the same rows/series the paper's tables and
+figures report; these helpers render them as aligned ASCII or Markdown tables
+without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3g}",
+    title: str | None = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_fmt(row.get(col, ""), float_format) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines) + "\n"
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render a list of row dictionaries as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(empty)\n"
+    columns = list(columns) if columns else list(rows[0].keys())
+    lines = ["| " + " | ".join(columns) + " |", "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(col, ""), float_format) for col in columns) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def histogram_line(counts: Mapping[str, int], width: int = 40) -> str:
+    """Render a one-line textual histogram (used by the Fig. 1 bench)."""
+    total = sum(counts.values())
+    if total == 0:
+        return "(no data)"
+    parts = []
+    for key, count in counts.items():
+        bar = "#" * max(1, int(round(width * count / total))) if count else ""
+        parts.append(f"{key}: {count:4d} {bar}")
+    return "\n".join(parts)
+
+
+def series_to_rows(
+    series: Mapping[str, Iterable[float]], index_name: str, index: Iterable[object]
+) -> list[dict[str, object]]:
+    """Convert ``{series_name: values}`` plus an index into table rows."""
+    index = list(index)
+    rows: list[dict[str, object]] = []
+    for i, idx in enumerate(index):
+        row: dict[str, object] = {index_name: idx}
+        for name, values in series.items():
+            values = list(values)
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return rows

@@ -1,0 +1,149 @@
+"""Simulation result records.
+
+These dataclasses are the contract between the accelerator models and the
+benchmark harness: every quantity the paper's figures plot (cycles split into
+multiplying/merging phases, on-chip traffic per memory structure, streaming
+cache miss rate, off-chip traffic, speed-ups, performance/area) is a field or
+derived property here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dataflows.base import Dataflow
+from repro.dataflows.stats import DataflowStats
+
+
+@dataclass
+class PhaseCycles:
+    """Cycle counts per execution phase (Fig. 3b phases 2-4)."""
+
+    #: Cycles spent loading stationary data into the multipliers.
+    stationary: float = 0.0
+    #: Cycles of the streaming (multiplying) phase — the blue bars of Fig. 13.
+    streaming: float = 0.0
+    #: Cycles of the merging phase — the orange bars of Fig. 13.
+    merging: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total execution cycles of the layer."""
+        return self.stationary + self.streaming + self.merging
+
+    def merged_with(self, other: "PhaseCycles") -> "PhaseCycles":
+        """Element-wise sum (used when accumulating layers of a model)."""
+        return PhaseCycles(
+            stationary=self.stationary + other.stationary,
+            streaming=self.streaming + other.streaming,
+            merging=self.merging + other.merging,
+        )
+
+
+@dataclass
+class TrafficBreakdown:
+    """On-chip and off-chip traffic in bytes (Figs. 14 and 16)."""
+
+    #: Bytes read from the stationary FIFO into the datapath.
+    sta_bytes: int = 0
+    #: Bytes read from the streaming cache into the datapath.
+    str_bytes: int = 0
+    #: Bytes moved to/from the PSRAM (partial-sum writes + reads).
+    psum_bytes: int = 0
+    #: Off-chip bytes (DRAM reads + writes), the quantity of Fig. 16.
+    offchip_bytes: int = 0
+
+    @property
+    def onchip_bytes(self) -> int:
+        """Total on-chip memory traffic (the quantity of Fig. 14)."""
+        return self.sta_bytes + self.str_bytes + self.psum_bytes
+
+    def merged_with(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        """Element-wise sum."""
+        return TrafficBreakdown(
+            sta_bytes=self.sta_bytes + other.sta_bytes,
+            str_bytes=self.str_bytes + other.str_bytes,
+            psum_bytes=self.psum_bytes + other.psum_bytes,
+            offchip_bytes=self.offchip_bytes + other.offchip_bytes,
+        )
+
+
+@dataclass
+class LayerSimResult:
+    """Outcome of simulating one SpMSpM layer on one accelerator."""
+
+    #: Name of the accelerator design that produced the result.
+    accelerator: str
+    #: Dataflow the layer was executed with.
+    dataflow: Dataflow
+    #: Cycle counts per phase.
+    cycles: PhaseCycles = field(default_factory=PhaseCycles)
+    #: Traffic breakdown.
+    traffic: TrafficBreakdown = field(default_factory=TrafficBreakdown)
+    #: Miss rate of the streaming cache during the layer.
+    str_cache_miss_rate: float = 0.0
+    #: Accesses observed by the streaming cache.
+    str_cache_accesses: int = 0
+    #: Operation counts accumulated by the datapath.
+    stats: DataflowStats = field(default_factory=DataflowStats)
+    #: The produced output matrix (``None`` when output capture is disabled).
+    output: Optional[object] = None
+    #: Optional label of the layer that was simulated.
+    layer_name: str = ""
+
+    @property
+    def total_cycles(self) -> float:
+        """Total execution cycles."""
+        return self.cycles.total
+
+
+@dataclass
+class ModelSimResult:
+    """Outcome of executing a whole DNN model (a chain of layers)."""
+
+    accelerator: str
+    model_name: str
+    layer_results: list[LayerSimResult] = field(default_factory=list)
+    #: Explicit format conversions that had to be inserted between layers.
+    explicit_conversions: int = 0
+    #: Extra off-chip bytes those conversions moved.
+    conversion_bytes: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of layer cycles plus any conversion overhead already folded in."""
+        return sum(layer.total_cycles for layer in self.layer_results)
+
+    @property
+    def total_traffic(self) -> TrafficBreakdown:
+        """Aggregate traffic over all layers."""
+        total = TrafficBreakdown()
+        for layer in self.layer_results:
+            total = total.merged_with(layer.traffic)
+        return total
+
+    @property
+    def dataflow_histogram(self) -> dict[Dataflow, int]:
+        """How many layers ran under each dataflow (Fig. 1-style summary)."""
+        histogram: dict[Dataflow, int] = {}
+        for layer in self.layer_results:
+            histogram[layer.dataflow] = histogram.get(layer.dataflow, 0) + 1
+        return histogram
+
+
+def speedup(baseline_cycles: float, cycles: float) -> float:
+    """Speed-up of ``cycles`` relative to ``baseline_cycles`` (>1 means faster)."""
+    if cycles <= 0:
+        raise ValueError("cycle counts must be positive to compute a speed-up")
+    return baseline_cycles / cycles
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the aggregation the paper uses for speed-ups)."""
+    if not values:
+        raise ValueError("cannot take the geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

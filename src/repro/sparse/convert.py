@@ -1,0 +1,102 @@
+"""Format conversion helpers and the cost model of explicit conversions.
+
+Flexagon's inter-layer dataflow mechanism (Section 3.3, Table 4) exists so
+that the accelerator never has to pay for an explicit CSR ⇄ CSC conversion
+between layers.  This module provides the software equivalents of that
+conversion together with a cost model that the scheduler uses to account for
+the traffic an explicit conversion would add when a layer chain picks an
+illegal transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.formats import (
+    ELEMENT_BYTES,
+    POINTER_BYTES,
+    CompressedMatrix,
+    Layout,
+    matrix_from_coo,
+)
+
+
+def change_layout(matrix: CompressedMatrix, layout: Layout) -> CompressedMatrix:
+    """Return ``matrix`` re-encoded in ``layout`` (no-op when already there)."""
+    return matrix.with_layout(layout)
+
+
+def transpose(matrix: CompressedMatrix) -> CompressedMatrix:
+    """Return the logical transpose of ``matrix``.
+
+    The storage vectors are reused unchanged; only the layout tag and the
+    shape flip, which is why CSR and CSC share control logic in hardware.
+    """
+    return matrix.transposed()
+
+
+def to_dense(matrix: CompressedMatrix) -> np.ndarray:
+    """Expand a compressed matrix into a dense numpy array."""
+    return matrix.to_dense()
+
+
+@dataclass(frozen=True)
+class ConversionCost:
+    """Traffic and operation cost of an explicit format conversion.
+
+    Attributes
+    ----------
+    element_reads:
+        Elements read from the source representation.
+    element_writes:
+        Elements written into the destination representation.
+    pointer_writes:
+        Pointer-vector entries written.
+    bytes_moved:
+        Total bytes moved through memory for the conversion.
+    """
+
+    element_reads: int
+    element_writes: int
+    pointer_writes: int
+    bytes_moved: int
+
+
+def explicit_conversion_cost(matrix: CompressedMatrix) -> ConversionCost:
+    """Model the cost of converting ``matrix`` to the opposite layout.
+
+    An explicit conversion reads every element once, scatters it into the
+    opposite-major buckets and writes every element plus a fresh pointer
+    vector.  This is the cost Flexagon avoids via dataflow selection and that
+    prior accelerators pay (e.g. MatRaptor-style converters referenced in the
+    paper's related work).
+    """
+    element_reads = matrix.nnz
+    element_writes = matrix.nnz
+    pointer_writes = (matrix.minor_dim if matrix.layout.major_is_row else matrix.nrows) + 1
+    # A conversion to the opposite layout creates `other_major_dim + 1` pointers.
+    other_major = matrix.ncols if matrix.layout.major_is_row else matrix.nrows
+    pointer_writes = other_major + 1
+    bytes_moved = (
+        (element_reads + element_writes) * ELEMENT_BYTES
+        + pointer_writes * POINTER_BYTES
+    )
+    return ConversionCost(element_reads, element_writes, pointer_writes, bytes_moved)
+
+
+def convert_with_cost(
+    matrix: CompressedMatrix, layout: Layout
+) -> tuple[CompressedMatrix, ConversionCost]:
+    """Convert ``matrix`` to ``layout`` and report the explicit-conversion cost.
+
+    When the matrix already uses ``layout`` the conversion is free, mirroring
+    the "no explicit conversion" cells of Table 4.
+    """
+    if matrix.layout is layout:
+        return matrix, ConversionCost(0, 0, 0, 0)
+    converted = matrix_from_coo(
+        matrix.nrows, matrix.ncols, list(matrix.iter_elements()), layout=layout
+    )
+    return converted, explicit_conversion_cost(matrix)

@@ -1,0 +1,77 @@
+"""The nine representative DNN layers of Table 6.
+
+The paper's layer-wise evaluation (Figs. 13-16) uses nine layers chosen so
+that the first three favour Inner Product (SQ5, SQ11, R4), the next three
+favour Outer Product (R6, S-R3, V0) and the last three favour Gustavson's
+(MB215, V7, A2).  Table 6 gives the exact dimensions and sparsities; the
+specs below reproduce them verbatim in the table's own convention
+(``A`` is ``M x K`` with sparsity ``spA``, ``B`` is ``K x N`` with ``spB``).
+"""
+
+from __future__ import annotations
+
+from repro.dataflows.base import DataflowClass
+from repro.workloads.layers import LayerSpec
+
+#: Table 6, column for column.  The trailing member of each tuple is the
+#: dataflow family the paper observes the layer benefits from the most.
+_TABLE6 = [
+    # name,   M,    N,     K,    spA,  spB,  favoured family
+    ("SQ5",    64,  2916,   16, 0.68, 0.11, DataflowClass.INNER_PRODUCT),
+    ("SQ11",  128,   729,   32, 0.70, 0.10, DataflowClass.INNER_PRODUCT),
+    ("R4",    256,  3136,   64, 0.88, 0.09, DataflowClass.INNER_PRODUCT),
+    ("R6",     64,  2916,  576, 0.89, 0.53, DataflowClass.OUTER_PRODUCT),
+    ("S-R3",   64,  5329,  576, 0.89, 0.46, DataflowClass.OUTER_PRODUCT),
+    ("V0",    128, 12100,  576, 0.90, 0.61, DataflowClass.OUTER_PRODUCT),
+    ("MB215", 128,     8,  512, 0.50, 0.00, DataflowClass.GUSTAVSON),
+    ("V7",    512,   144, 4608, 0.90, 0.94, DataflowClass.GUSTAVSON),
+    ("A2",    384,   121, 1728, 0.70, 0.54, DataflowClass.GUSTAVSON),
+]
+
+#: Table 6 compressed sizes (KiB), kept for the Table 6 reproduction bench.
+TABLE6_COMPRESSED_KIB = {
+    "SQ5": (1.2, 162, 728),
+    "SQ11": (4.8, 82, 364),
+    "R4": (7.6, 709, 3136),
+    "R6": (16, 3086, 728),
+    "S-R3": (16, 6422, 1332),
+    "V0": (29, 21357, 12321),
+    "MB215": (128, 16, 4),
+    "V7": (921, 177, 288),
+    "A2": (777, 373, 181),
+}
+
+
+def _build() -> dict[str, tuple[LayerSpec, DataflowClass]]:
+    table = {}
+    for name, m, n, k, sp_a, sp_b, favoured in _TABLE6:
+        spec = LayerSpec(
+            name=name, m=m, k=k, n=n, sparsity_a=sp_a, sparsity_b=sp_b
+        )
+        table[name] = (spec, favoured)
+    return table
+
+
+_REGISTRY = _build()
+
+#: The nine Table 6 layer specs, in table order.
+REPRESENTATIVE_LAYERS: list[LayerSpec] = [spec for spec, _ in _REGISTRY.values()]
+
+#: The dataflow family each layer is expected to favour.
+FAVOURED_DATAFLOW_CLASS: dict[str, DataflowClass] = {
+    name: favoured for name, (_, favoured) in _REGISTRY.items()
+}
+
+
+def get_representative_layer(name: str) -> LayerSpec:
+    """Look up one of the Table 6 layers by its name (e.g. ``"V0"``)."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown representative layer {name!r}; available: {', '.join(_REGISTRY)}"
+        )
+    return _REGISTRY[name][0]
+
+
+def representative_layer_names() -> list[str]:
+    """The nine layer names in Table 6 order."""
+    return list(_REGISTRY)

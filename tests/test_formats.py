@@ -1,0 +1,233 @@
+"""Unit and property tests for the CSR/CSC compressed matrix formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    CompressedMatrix,
+    Layout,
+    csc_from_dense,
+    csr_from_dense,
+    empty_matrix,
+    matrix_from_coo,
+    matrix_from_fibers,
+    random_sparse,
+)
+from repro.sparse.convert import convert_with_cost, explicit_conversion_cost, transpose
+from repro.sparse.fiber import Fiber
+from repro.sparse.formats import ELEMENT_BYTES, POINTER_BYTES
+
+
+def dense_strategy(max_dim=12):
+    return st.tuples(
+        st.integers(1, max_dim), st.integers(1, max_dim), st.integers(0, 2**31 - 1)
+    ).map(_make_dense)
+
+
+def _make_dense(args):
+    rows, cols, seed = args
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(rows, cols))
+    mask = rng.random((rows, cols)) < 0.4
+    return dense * mask
+
+
+class TestConstruction:
+    def test_empty_matrix(self):
+        m = empty_matrix(3, 4)
+        assert m.nnz == 0
+        assert m.shape == (3, 4)
+        assert m.density == 0.0
+        assert np.array_equal(m.to_dense(), np.zeros((3, 4)))
+
+    def test_from_coo_csr(self):
+        m = matrix_from_coo(2, 3, [(0, 1, 5.0), (1, 0, -2.0), (1, 2, 3.0)])
+        assert m.layout is Layout.CSR
+        assert m.nnz == 3
+        expected = np.array([[0, 5.0, 0], [-2.0, 0, 3.0]])
+        assert np.array_equal(m.to_dense(), expected)
+
+    def test_from_coo_accumulates_duplicates(self):
+        m = matrix_from_coo(2, 2, [(0, 0, 1.0), (0, 0, 2.0)])
+        assert m.nnz == 1
+        assert m.to_dense()[0, 0] == 3.0
+
+    def test_from_coo_drops_explicit_zeros(self):
+        m = matrix_from_coo(2, 2, [(0, 0, 0.0), (1, 1, 1.0)])
+        assert m.nnz == 1
+
+    def test_from_coo_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_from_coo(2, 2, [(2, 0, 1.0)])
+
+    def test_invalid_pointer_vector_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedMatrix(2, 2, Layout.CSR, [0, 1], [0], [1.0])
+
+    def test_unsorted_fiber_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedMatrix(1, 3, Layout.CSR, [0, 2], [2, 0], [1.0, 1.0])
+
+    def test_matrix_from_fibers(self):
+        fibers = {0: Fiber([(1, 2.0)]), 2: Fiber([(0, 1.0), (2, -1.0)])}
+        m = matrix_from_fibers(3, 3, fibers)
+        expected = np.array([[0, 2.0, 0], [0, 0, 0], [1.0, 0, -1.0]])
+        assert np.array_equal(m.to_dense(), expected)
+
+    def test_matrix_from_fibers_out_of_range(self):
+        with pytest.raises(ValueError):
+            matrix_from_fibers(2, 2, {0: Fiber([(5, 1.0)])})
+
+
+class TestDenseRoundtrip:
+    @given(dense_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_csr_roundtrip(self, dense):
+        m = csr_from_dense(dense)
+        assert np.allclose(m.to_dense(), dense)
+
+    @given(dense_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_csc_roundtrip(self, dense):
+        m = csc_from_dense(dense)
+        assert m.layout is Layout.CSC
+        assert np.allclose(m.to_dense(), dense)
+
+    @given(dense_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_layout_change_preserves_values(self, dense):
+        csr = csr_from_dense(dense)
+        csc = csr.with_layout(Layout.CSC)
+        assert csc.layout is Layout.CSC
+        assert np.allclose(csc.to_dense(), dense)
+        assert csc.nnz == csr.nnz
+
+
+class TestFiberAccess:
+    def setup_method(self):
+        self.dense = np.array([[1.0, 0, 2.0], [0, 0, 0], [3.0, 4.0, 0]])
+        self.csr = csr_from_dense(self.dense)
+        self.csc = csc_from_dense(self.dense)
+
+    def test_csr_fibers_are_rows(self):
+        assert self.csr.fiber(0).coords == [0, 2]
+        assert self.csr.fiber(1).is_empty()
+        assert self.csr.fiber(2).values == [3.0, 4.0]
+
+    def test_csc_fibers_are_columns(self):
+        assert self.csc.fiber(0).coords == [0, 2]
+        assert self.csc.fiber(0).values == [1.0, 3.0]
+        assert self.csc.fiber(2).coords == [0]
+
+    def test_fiber_nnz_matches_fiber(self):
+        for i in range(3):
+            assert self.csr.fiber_nnz(i) == self.csr.fiber(i).nnz
+
+    def test_fiber_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.csr.fiber(3)
+
+    def test_row_and_col_work_for_both_layouts(self):
+        for m in (self.csr, self.csc):
+            assert m.row(2).coords == [0, 1]
+            assert m.col(0).coords == [0, 2]
+
+    def test_iter_elements_covers_all_nonzeros(self):
+        triples = set(self.csr.iter_elements())
+        assert triples == {(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)}
+        assert set(self.csc.iter_elements()) == triples
+
+    def test_iter_nonempty_fibers_skips_empty(self):
+        indices = [i for i, _ in self.csr.iter_nonempty_fibers()]
+        assert indices == [0, 2]
+
+
+class TestTransposeAndSize:
+    def test_transpose_flips_shape_and_layout(self):
+        m = random_sparse(5, 8, 0.3, seed=3)
+        t = transpose(m)
+        assert t.shape == (8, 5)
+        assert t.layout is m.layout.other
+        assert np.allclose(t.to_dense(), m.to_dense().T)
+
+    def test_double_transpose_is_identity(self):
+        m = random_sparse(6, 4, 0.5, seed=4)
+        assert np.allclose(m.transposed().transposed().to_dense(), m.to_dense())
+
+    def test_compressed_size_formula(self):
+        m = random_sparse(10, 10, 0.2, seed=5)
+        expected = m.nnz * ELEMENT_BYTES + (m.major_dim + 1) * POINTER_BYTES
+        assert m.compressed_size_bytes() == expected
+
+    def test_density_and_sparsity_sum_to_one(self):
+        m = random_sparse(10, 10, 0.37, seed=6)
+        assert m.density + m.sparsity == pytest.approx(1.0)
+
+
+class TestConversionCost:
+    def test_same_layout_conversion_is_free(self):
+        m = random_sparse(6, 6, 0.4, seed=7)
+        converted, cost = convert_with_cost(m, m.layout)
+        assert converted is m
+        assert cost.bytes_moved == 0
+
+    def test_cross_layout_conversion_costs_traffic(self):
+        m = random_sparse(6, 6, 0.4, seed=8, layout=Layout.CSR)
+        converted, cost = convert_with_cost(m, Layout.CSC)
+        assert converted.layout is Layout.CSC
+        assert np.allclose(converted.to_dense(), m.to_dense())
+        assert cost.element_reads == m.nnz
+        assert cost.element_writes == m.nnz
+        assert cost.bytes_moved > 0
+
+    def test_explicit_cost_scales_with_nnz(self):
+        small = random_sparse(10, 10, 0.1, seed=9)
+        large = random_sparse(10, 10, 0.9, seed=9)
+        assert (
+            explicit_conversion_cost(large).bytes_moved
+            > explicit_conversion_cost(small).bytes_moved
+        )
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("pattern", ["uniform", "row_skewed", "banded", "block"])
+    def test_patterns_hit_requested_density(self, pattern):
+        from repro.sparse.generate import SparsityPattern
+
+        m = random_sparse(
+            64, 64, 0.2, pattern=SparsityPattern(pattern), seed=11
+        )
+        assert m.shape == (64, 64)
+        # Allow generous tolerance: patterns are stochastic/structured.
+        assert 0.05 <= m.density <= 0.45
+
+    def test_zero_density_gives_empty_matrix(self):
+        assert random_sparse(16, 16, 0.0, seed=1).nnz == 0
+
+    def test_full_density_gives_dense_matrix(self):
+        m = random_sparse(8, 8, 1.0, seed=1)
+        assert m.nnz == 64
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ValueError):
+            random_sparse(4, 4, 1.5)
+
+    def test_reproducible_with_same_seed(self):
+        a = random_sparse(20, 20, 0.3, seed=42)
+        b = random_sparse(20, 20, 0.3, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_sparse(20, 20, 0.3, seed=1)
+        b = random_sparse(20, 20, 0.3, seed=2)
+        assert a != b
+
+    def test_density_map_generation(self):
+        from repro.sparse.generate import sparse_from_density_map
+
+        m = sparse_from_density_map(np.array([1.0, 0.0, 0.5]), 10, seed=3)
+        assert m.fiber_nnz(0) == 10
+        assert m.fiber_nnz(1) == 0
+        assert 0 <= m.fiber_nnz(2) <= 10

@@ -1,0 +1,384 @@
+"""Tests for the L1 memory structures: FIFO, streaming cache, PSRAM, write buffer, DRAM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.memory import (
+    DramModel,
+    Psram,
+    StationaryFifo,
+    StreamingCache,
+    WriteBuffer,
+)
+from repro.arch.config import DramConfig
+
+
+# ----------------------------------------------------------------------
+# Stationary FIFO
+# ----------------------------------------------------------------------
+class TestStationaryFifo:
+    def test_push_pop_order(self):
+        fifo = StationaryFifo(4)
+        for value in (1, 2, 3):
+            fifo.push(value)
+        assert [fifo.pop(), fifo.pop(), fifo.pop()] == [1, 2, 3]
+
+    def test_capacity_enforced(self):
+        fifo = StationaryFifo(2)
+        fifo.push("a")
+        fifo.push("b")
+        assert fifo.is_full()
+        with pytest.raises(OverflowError):
+            fifo.push("c")
+
+    def test_underflow_counts_stall(self):
+        fifo = StationaryFifo(2)
+        with pytest.raises(LookupError):
+            fifo.pop()
+        assert fifo.stats.stall_events == 1
+
+    def test_push_fiber_partial(self):
+        fifo = StationaryFifo(3)
+        pushed = fifo.push_fiber([10, 20, 30, 40, 50])
+        assert pushed == 3
+        assert fifo.occupancy == 3
+
+    def test_drain(self):
+        fifo = StationaryFifo(4)
+        fifo.push_fiber([1, 2, 3])
+        assert fifo.drain() == [1, 2, 3]
+        assert fifo.is_empty()
+
+    def test_stats_and_peak_occupancy(self):
+        fifo = StationaryFifo(8)
+        fifo.push_fiber(range(5))
+        fifo.pop()
+        assert fifo.stats.pushes == 5
+        assert fifo.stats.pops == 1
+        assert fifo.stats.peak_occupancy == 5
+        assert fifo.free_slots == 4
+
+    def test_base_address_register(self):
+        fifo = StationaryFifo(4)
+        fifo.set_base_address(0x1000)
+        assert fifo.base_address == 0x1000
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StationaryFifo(0)
+
+
+# ----------------------------------------------------------------------
+# Streaming cache
+# ----------------------------------------------------------------------
+class TestStreamingCache:
+    def make(self, capacity=1024, line=64, assoc=2):
+        return StreamingCache(capacity, line, assoc, element_bytes=4)
+
+    def test_geometry(self):
+        cache = self.make()
+        assert cache.num_lines == 16
+        assert cache.num_sets == 8
+        assert cache.elements_per_line == 16
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingCache(1000, 64, 2)
+        with pytest.raises(ValueError):
+            StreamingCache(1024, 64, 3)
+        with pytest.raises(ValueError):
+            StreamingCache(0, 64, 2)
+
+    def test_first_access_misses_second_hits(self):
+        cache = self.make()
+        assert cache.access_element(0) is False
+        assert cache.access_element(1) is True  # same line
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_rate(self):
+        cache = self.make()
+        cache.access_element(0)
+        cache.access_element(0)
+        cache.access_element(0)
+        assert cache.stats.miss_rate == pytest.approx(1 / 3)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_cache_rates(self):
+        cache = self.make()
+        assert cache.stats.miss_rate == 0.0
+        assert cache.stats.hit_rate == 0.0
+
+    def test_lru_eviction_within_set(self):
+        cache = self.make(capacity=256, line=64, assoc=2)  # 4 lines, 2 sets
+        # Lines 0, 2, 4 all map to set 0 (line_addr % 2 == 0).
+        cache.access_byte(0 * 64)
+        cache.access_byte(2 * 64)
+        cache.access_byte(4 * 64)  # evicts line 0 (LRU)
+        assert cache.access_byte(2 * 64) is True
+        assert cache.access_byte(0 * 64) is False  # was evicted
+
+    def test_lru_updated_on_hit(self):
+        cache = self.make(capacity=256, line=64, assoc=2)
+        cache.access_byte(0 * 64)
+        cache.access_byte(2 * 64)
+        cache.access_byte(0 * 64)  # touch 0 again -> 2 becomes LRU
+        cache.access_byte(4 * 64)  # evicts 2
+        assert cache.access_byte(0 * 64) is True
+        assert cache.access_byte(2 * 64) is False
+
+    def test_sequential_scan_larger_than_cache_always_misses_on_repeat(self):
+        cache = self.make(capacity=256, line=64, assoc=2)
+        lines = 12  # 3x the capacity in lines
+        for _ in range(2):
+            for i in range(lines):
+                cache.access_byte(i * 64)
+        # Every access in both passes is a miss (sequential LRU thrashing).
+        assert cache.stats.misses == 2 * lines
+
+    def test_working_set_smaller_than_cache_hits_on_repeat(self):
+        cache = self.make(capacity=1024, line=64, assoc=2)
+        for _ in range(3):
+            for i in range(8):
+                cache.access_byte(i * 64)
+        assert cache.stats.misses == 8
+        assert cache.stats.hits == 16
+
+    def test_access_range(self):
+        cache = self.make()
+        misses = cache.access_range(0, 32)  # 32 elements * 4B = 2 lines
+        assert misses == 2
+
+    def test_contains_line_of(self):
+        cache = self.make()
+        assert not cache.contains_line_of(0)
+        cache.access_element(0)
+        assert cache.contains_line_of(5)  # same line
+
+    def test_invalidate_and_reset_stats(self):
+        cache = self.make()
+        cache.access_element(0)
+        cache.invalidate()
+        assert not cache.contains_line_of(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+    def test_miss_traffic_bytes(self):
+        cache = self.make(line=64)
+        cache.access_element(0)
+        cache.access_element(100)
+        assert cache.miss_traffic_bytes == 2 * 64
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().access_byte(-1)
+
+    @given(st.lists(st.integers(0, 4095), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, offsets):
+        cache = self.make()
+        for offset in offsets:
+            cache.access_byte(offset)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+        assert cache.stats.accesses == len(offsets)
+
+    @given(st.lists(st.integers(0, 2047), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, offsets):
+        cache = self.make(capacity=512, line=64, assoc=2)
+        for offset in offsets:
+            cache.access_byte(offset)
+        resident = sum(len(ways) for ways in cache._sets)
+        assert resident <= cache.num_lines
+
+
+# ----------------------------------------------------------------------
+# PSRAM
+# ----------------------------------------------------------------------
+class TestPsram:
+    def make(self, capacity=1024, block=64, sets=4):
+        return Psram(capacity, block, sets, element_bytes=4)
+
+    def test_geometry(self):
+        psram = self.make()
+        assert psram.total_blocks == 16
+        assert psram.blocks_per_set == 4
+        assert psram.elements_per_block == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Psram(1000, 64, 4)
+        with pytest.raises(ValueError):
+            Psram(128, 64, 4)  # fewer blocks than sets
+        with pytest.raises(ValueError):
+            Psram(0, 64, 1)
+
+    def test_partial_write_then_consume_fifo_order(self):
+        psram = self.make()
+        for i in range(5):
+            assert psram.partial_write(row=1, k=3, element=("e", i))
+        consumed = [psram.consume(1, 3) for _ in range(5)]
+        assert consumed == [("e", i) for i in range(5)]
+
+    def test_fiber_length_tracks_unconsumed(self):
+        psram = self.make()
+        for i in range(3):
+            psram.partial_write(0, 7, i)
+        assert psram.fiber_length(0, 7) == 3
+        psram.consume(0, 7)
+        assert psram.fiber_length(0, 7) == 2
+
+    def test_consumed_block_is_freed(self):
+        psram = self.make(capacity=256, block=64, sets=1)  # 4 blocks, 16 elems each
+        for i in range(16):
+            psram.partial_write(0, 1, i)
+        assert psram.blocks_in_use() == 1
+        for _ in range(16):
+            psram.consume(0, 1)
+        assert psram.blocks_in_use() == 0
+
+    def test_fiber_spills_into_multiple_blocks(self):
+        psram = self.make(capacity=256, block=64, sets=1)
+        for i in range(20):  # > 16 elements per block
+            psram.partial_write(0, 1, i)
+        assert psram.blocks_in_use() == 2
+        assert psram.fiber_length(0, 1) == 20
+        assert list(psram.consume_fiber(0, 1)) == list(range(20))
+
+    def test_different_k_fibers_in_same_set(self):
+        psram = self.make()
+        psram.partial_write(0, 1, "a")
+        psram.partial_write(0, 2, "b")
+        assert sorted(psram.fiber_ks(0)) == [1, 2]
+        assert psram.consume(0, 2) == "b"
+        assert psram.consume(0, 1) == "a"
+
+    def test_rows_map_to_sets(self):
+        psram = self.make(sets=4)
+        assert psram.set_index(0) == 0
+        assert psram.set_index(5) == 1
+        psram.partial_write(0, 1, "x")
+        psram.partial_write(4, 1, "y")  # same set as row 0
+        assert psram.blocks_in_use() == 2
+
+    def test_spill_when_set_full(self):
+        psram = self.make(capacity=256, block=64, sets=2)  # 2 blocks per set
+        stored = [psram.partial_write(0, k, "v") for k in range(3)]
+        # Third distinct k needs a third block in set 0 -> spills.
+        assert stored == [True, True, False]
+        assert psram.stats.spilled_elements == 1
+
+    def test_consume_missing_fiber_raises(self):
+        psram = self.make()
+        with pytest.raises(LookupError):
+            psram.consume(0, 9)
+
+    def test_reset_clears_contents_keeps_stats(self):
+        psram = self.make()
+        psram.partial_write(0, 1, "x")
+        psram.reset()
+        assert psram.blocks_in_use() == 0
+        assert psram.stats.partial_writes == 1
+
+    def test_occupancy_bytes(self):
+        psram = self.make()
+        for i in range(6):
+            psram.partial_write(2, 0, i)
+        assert psram.occupancy_bytes() == 6 * 4
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2)), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_everything_written_onchip_can_be_consumed(self, writes):
+        psram = Psram(4096, 64, 4, element_bytes=4)
+        expected: dict[tuple[int, int], list[int]] = {}
+        for i, (row, k) in enumerate(writes):
+            if psram.partial_write(row, k, i):
+                expected.setdefault((row, k), []).append(i)
+        for (row, k), values in expected.items():
+            assert list(psram.consume_fiber(row, k)) == values
+
+
+# ----------------------------------------------------------------------
+# Write buffer
+# ----------------------------------------------------------------------
+class TestWriteBuffer:
+    def test_write_and_flush(self):
+        buffer = WriteBuffer(capacity_bytes=16, element_bytes=4)
+        for i in range(3):
+            assert buffer.write(i) is True
+        assert buffer.occupancy == 3
+        assert buffer.flush() == 3
+        assert buffer.occupancy == 0
+
+    def test_full_buffer_stalls_and_drains(self):
+        buffer = WriteBuffer(capacity_bytes=8, element_bytes=4)  # 2 elements
+        buffer.write("a")
+        buffer.write("b")
+        accepted = buffer.write("c")
+        assert accepted is False
+        assert buffer.stats.full_stalls == 1
+        assert buffer.occupancy == 2
+
+    def test_bytes_written_tracked(self):
+        buffer = WriteBuffer(capacity_bytes=8, element_bytes=4)
+        buffer.write("a")
+        buffer.flush()
+        assert buffer.stats.bytes_written == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(0)
+
+
+# ----------------------------------------------------------------------
+# DRAM model
+# ----------------------------------------------------------------------
+class TestDramModel:
+    def make(self):
+        return DramModel(DramConfig(), frequency_hz=800e6)
+
+    def test_traffic_breakdown(self):
+        dram = self.make()
+        dram.read_stationary(100)
+        dram.read_streaming(200)
+        dram.write_output(50)
+        dram.spill_psums(25)
+        assert dram.traffic.total_read_bytes == 300
+        assert dram.traffic.total_write_bytes == 75
+        assert dram.traffic.total_bytes == 375
+        assert dram.requests == 4
+
+    def test_zero_byte_records_no_request(self):
+        dram = self.make()
+        dram.read_streaming(0)
+        assert dram.requests == 0
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().read_streaming(-1)
+
+    def test_latency_and_bandwidth(self):
+        dram = self.make()
+        assert dram.latency_cycles == 80
+        assert dram.bytes_per_cycle == pytest.approx(320.0)
+
+    def test_cycles_for_transfer(self):
+        dram = self.make()
+        assert dram.cycles_for(0) == 0.0
+        assert dram.cycles_for(3200) == pytest.approx(80 + 10)
+
+    def test_traffic_counter_merge(self):
+        dram = self.make()
+        dram.read_streaming(100)
+        other = self.make()
+        other.write_output(60)
+        merged = dram.traffic.merged_with(other.traffic)
+        assert merged.str_read_bytes == 100
+        assert merged.output_write_bytes == 60
+        assert merged.total_bytes == 160
+
+    def test_total_transfer_cycles(self):
+        dram = self.make()
+        dram.read_streaming(3200)
+        assert dram.total_transfer_cycles() == pytest.approx(dram.cycles_for(3200))

@@ -1,0 +1,280 @@
+"""Tests for the on-chip networks: distribution, multipliers and the MRN."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.distribution import DistributionNetwork
+from repro.arch.mrn import (
+    MergerReductionNetwork,
+    NodeMode,
+    merge_cycles,
+    reduction_cycles,
+)
+from repro.arch.multiplier import MultiplierMode, MultiplierNetwork, MultiplierSwitch
+from repro.sparse.fiber import Element, Fiber
+
+
+# ----------------------------------------------------------------------
+# Distribution network
+# ----------------------------------------------------------------------
+class TestDistributionNetwork:
+    def test_benes_structure(self):
+        dn = DistributionNetwork(num_outputs=64, bandwidth=16)
+        assert dn.levels == 2 * 6 + 1
+        assert dn.num_switches == dn.levels * 32
+
+    def test_delivery_cycles_bandwidth_bound(self):
+        dn = DistributionNetwork(num_outputs=64, bandwidth=16)
+        assert dn.deliver(32) == pytest.approx(2.0)
+        assert dn.cycles_for(8) == pytest.approx(0.5)
+        assert dn.cycles_for(0) == 0.0
+
+    def test_delivery_modes_counted(self):
+        dn = DistributionNetwork(num_outputs=8, bandwidth=4)
+        dn.deliver(3, destinations=1)
+        dn.deliver(5, destinations=4)
+        dn.deliver(2, destinations=8)
+        assert dn.stats.unicasts == 3
+        assert dn.stats.multicasts == 5
+        assert dn.stats.broadcasts == 2
+        assert dn.stats.elements_delivered == 10
+
+    def test_multicast_cost_independent_of_fanout(self):
+        dn = DistributionNetwork(num_outputs=64, bandwidth=16)
+        assert dn.deliver(16, destinations=2) == dn.deliver(16, destinations=60)
+
+    def test_zero_elements_free(self):
+        dn = DistributionNetwork(num_outputs=4, bandwidth=2)
+        assert dn.deliver(0) == 0.0
+        assert dn.deliver(5, destinations=0) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DistributionNetwork(0, 16)
+        with pytest.raises(ValueError):
+            DistributionNetwork(8, 0)
+        with pytest.raises(ValueError):
+            DistributionNetwork(8, 4).deliver(-1)
+
+
+# ----------------------------------------------------------------------
+# Multiplier network
+# ----------------------------------------------------------------------
+class TestMultiplierSwitch:
+    def test_multiplier_mode(self):
+        switch = MultiplierSwitch(0)
+        switch.configure(MultiplierMode.MULTIPLIER)
+        switch.load_stationary(3.0, coord=(1, 2))
+        out = switch.process(Element(7, 2.0))
+        assert out == Element(7, 6.0)
+        assert switch.stats.multiplications == 1
+
+    def test_forwarder_mode_passes_through(self):
+        switch = MultiplierSwitch(0)
+        switch.configure(MultiplierMode.FORWARDER)
+        element = Element(3, 1.5)
+        assert switch.process(element) == element
+        assert switch.stats.forwards == 1
+
+    def test_multiplier_without_stationary_value_raises(self):
+        switch = MultiplierSwitch(0)
+        switch.configure(MultiplierMode.MULTIPLIER)
+        with pytest.raises(RuntimeError):
+            switch.process(Element(0, 1.0))
+
+    def test_idle_switch_rejects_data(self):
+        switch = MultiplierSwitch(0)
+        with pytest.raises(RuntimeError):
+            switch.process(Element(0, 1.0))
+
+    def test_clear_stationary(self):
+        switch = MultiplierSwitch(0)
+        switch.load_stationary(2.0)
+        switch.clear_stationary()
+        assert switch.stationary_value is None
+
+
+class TestMultiplierNetwork:
+    def test_network_size_and_access(self):
+        mn = MultiplierNetwork(8)
+        assert len(mn) == 8
+        assert mn[3].index == 3
+
+    def test_configure_all(self):
+        mn = MultiplierNetwork(4)
+        mn.configure_all(MultiplierMode.FORWARDER)
+        assert all(s.mode is MultiplierMode.FORWARDER for s in mn.switches)
+
+    def test_load_stationary_elements_truncates(self):
+        mn = MultiplierNetwork(3)
+        loaded = mn.load_stationary_elements([(1.0, (0, 0)), (2.0, (0, 1)),
+                                              (3.0, (1, 0)), (4.0, (1, 1))])
+        assert loaded == 3
+        assert mn[0].stationary_value == 1.0
+        assert mn[2].stationary_value == 3.0
+
+    def test_load_fewer_clears_rest(self):
+        mn = MultiplierNetwork(4)
+        mn.load_stationary_elements([(1.0, None)] * 4)
+        mn.load_stationary_elements([(9.0, None)])
+        assert mn[0].stationary_value == 9.0
+        assert mn[1].stationary_value is None
+
+    def test_total_stats_aggregates(self):
+        mn = MultiplierNetwork(2)
+        mn.configure_all(MultiplierMode.MULTIPLIER)
+        mn[0].load_stationary(2.0)
+        mn[1].load_stationary(3.0)
+        mn[0].process(Element(0, 1.0))
+        mn[1].process(Element(1, 1.0))
+        totals = mn.total_stats()
+        assert totals.multiplications == 2
+        assert totals.stationary_loads == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MultiplierNetwork(0)
+
+
+# ----------------------------------------------------------------------
+# Merger-Reduction Network
+# ----------------------------------------------------------------------
+def sorted_fiber(pairs):
+    return Fiber(sorted(pairs), sort=True)
+
+
+class TestMrnStructure:
+    def test_node_count(self):
+        mrn = MergerReductionNetwork(16)
+        assert mrn.num_nodes == 15
+        assert mrn.levels == 4
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            MergerReductionNetwork(12)
+        with pytest.raises(ValueError):
+            MergerReductionNetwork(1)
+
+    def test_configure_sets_all_nodes(self):
+        mrn = MergerReductionNetwork(8)
+        mrn.configure(NodeMode.ADDER)
+        assert all(n.mode is NodeMode.ADDER for level in mrn.nodes for n in level)
+
+
+class TestMrnReduce:
+    def test_reduce_sums_values(self):
+        mrn = MergerReductionNetwork(8)
+        total, cycles = mrn.reduce([1.0, 2.0, 3.0, 4.0])
+        assert total == pytest.approx(10.0)
+        assert cycles == 2  # log2(4)
+
+    def test_reduce_empty(self):
+        mrn = MergerReductionNetwork(4)
+        assert mrn.reduce([]) == (0.0, 0)
+
+    def test_reduce_too_many_rejected(self):
+        mrn = MergerReductionNetwork(4)
+        with pytest.raises(ValueError):
+            mrn.reduce([1.0] * 5)
+
+    def test_reduce_clusters_parallel_cost(self):
+        mrn = MergerReductionNetwork(8)
+        sums, cycles = mrn.reduce_clusters([[1.0, 2.0], [3.0, 4.0, 5.0], [6.0]])
+        assert sums == [pytest.approx(3.0), pytest.approx(12.0), pytest.approx(6.0)]
+        assert cycles == 2  # depth of the largest cluster
+
+    def test_reduce_clusters_capacity_check(self):
+        mrn = MergerReductionNetwork(4)
+        with pytest.raises(ValueError):
+            mrn.reduce_clusters([[1.0, 1.0, 1.0], [1.0, 1.0]])
+
+    def test_addition_count(self):
+        mrn = MergerReductionNetwork(8)
+        mrn.reduce([1.0] * 6)
+        assert mrn.stats.additions == 5
+
+
+class TestMrnMerge:
+    def test_merge_two_sorted_fibers(self):
+        mrn = MergerReductionNetwork(4)
+        a = Fiber([(0, 1.0), (3, 2.0)])
+        b = Fiber([(1, 5.0), (3, 1.0)])
+        merged, cycles = mrn.merge([a, b])
+        assert merged == a.merged(b)
+        assert cycles >= len(merged)
+
+    def test_merge_matches_reference_k_way(self):
+        mrn = MergerReductionNetwork(8)
+        fibers = [
+            Fiber([(0, 1.0), (4, 2.0), (9, 1.0)]),
+            Fiber([(1, 1.0), (4, -2.0)]),
+            Fiber([(2, 3.0)]),
+            Fiber([(0, 1.0), (9, 4.0)]),
+            Fiber([(7, 2.0)]),
+        ]
+        merged, _ = mrn.merge(fibers)
+        assert merged == Fiber.merge_many(fibers)
+
+    def test_merge_empty_inputs(self):
+        mrn = MergerReductionNetwork(4)
+        merged, _ = mrn.merge([Fiber(), Fiber()])
+        assert merged.is_empty()
+
+    def test_merge_single_fiber_passthrough(self):
+        mrn = MergerReductionNetwork(4)
+        fiber = Fiber([(2, 1.0), (5, -1.0)])
+        merged, _ = mrn.merge([fiber])
+        assert merged == fiber
+
+    def test_merge_capacity_check(self):
+        mrn = MergerReductionNetwork(2)
+        with pytest.raises(ValueError):
+            mrn.merge([Fiber()] * 3)
+
+    def test_merge_cycles_close_to_pipelined_estimate(self):
+        mrn = MergerReductionNetwork(8)
+        fibers = [sorted_fiber([(i * 3 + j, 1.0) for i in range(10)]) for j in range(3)]
+        total_inputs = sum(f.nnz for f in fibers)
+        _, cycles = mrn.merge(fibers)
+        # Root emits at most one element per cycle; pipeline depth adds a few.
+        assert total_inputs <= cycles <= 3 * total_inputs + 4 * mrn.levels + 8
+
+    def test_stats_accumulate(self):
+        mrn = MergerReductionNetwork(4)
+        mrn.merge([Fiber([(0, 1.0)]), Fiber([(0, 2.0)])])
+        assert mrn.stats.additions >= 1
+        assert mrn.stats.elements_out == 1
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 30), st.floats(-5, 5, allow_nan=False)),
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_reference_merge_property(self, raw_fibers):
+        fibers = [sorted_fiber(pairs) for pairs in raw_fibers]
+        mrn = MergerReductionNetwork(8)
+        merged, _ = mrn.merge(fibers)
+        expected = Fiber.merge_many(fibers)
+        assert merged.coords == expected.coords
+        for got, want in zip(merged.values, expected.values):
+            assert got == pytest.approx(want)
+
+
+class TestClosedFormEstimates:
+    def test_reduction_cycles(self):
+        assert reduction_cycles(0, 16, 6) == 0.0
+        assert reduction_cycles(32, 16, 6) == pytest.approx(2 + 6)
+
+    def test_merge_cycles(self):
+        assert merge_cycles(0, 16, 6) == 0.0
+        assert merge_cycles(160, 16, 6) == pytest.approx(10 + 6)
+
+    def test_bandwidth_floor(self):
+        assert reduction_cycles(10, 0, 2) == pytest.approx(10 + 2)

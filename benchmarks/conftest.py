@@ -1,9 +1,13 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark uses the same :class:`ExperimentSettings`, so the expensive
-layer-wise and end-to-end simulations are executed once per pytest session
-(the experiment functions cache per settings object) and the individual
-benchmark files only slice and print their figure's rows.
+Every benchmark uses the same :class:`ExperimentSettings`, and every
+simulation sweep funnels through the shared :mod:`repro.runtime` batch
+runner: the expensive layer-wise and end-to-end grids are executed once per
+pytest session (fanned out over a process pool), persisted in the runtime's
+on-disk result cache, and the individual benchmark files only slice and
+print their figure's rows.  A second benchmark invocation with the same
+settings therefore re-simulates nothing — it is answered entirely from the
+cache (run ``python -m repro.runtime stats`` to inspect it).
 
 Environment knobs:
 
@@ -12,6 +16,10 @@ Environment knobs:
 * ``REPRO_MAX_DENSE_MACS`` — override the per-layer dense-MAC budget used to
   pick the scale factor (default used by the benches: 2e6).
 * ``REPRO_MAX_LAYERS`` — cap on simulated layers per model (default 8).
+* ``REPRO_WORKERS`` / ``REPRO_PARALLEL=0`` — process-pool width / force the
+  serial executor (see :mod:`repro.runtime.runner`).
+* ``REPRO_CACHE_DIR`` / ``REPRO_CACHE=0`` — result-cache directory / disable
+  the persistent cache (see :mod:`repro.runtime.cache`).
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import os
 import pytest
 
 from repro.experiments import default_settings
+from repro.runtime import default_runner
 
 #: Defaults tuned so the whole benchmark suite completes in a few minutes.
 _BENCH_MAC_BUDGET = float(os.environ.get("REPRO_MAX_DENSE_MACS", 2e6))
@@ -34,6 +43,17 @@ def settings():
         return default_settings(max_layers_per_model=_BENCH_MAX_LAYERS)
     return default_settings(
         max_dense_macs=_BENCH_MAC_BUDGET, max_layers_per_model=_BENCH_MAX_LAYERS
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Report what the simulation runtime did for this benchmark session."""
+    stats = default_runner().stats
+    if stats.submitted == 0:
+        return
+    terminalreporter.write_sep("-", "repro.runtime job summary")
+    terminalreporter.write_line(
+        "   ".join(f"{name}: {value}" for name, value in stats.as_row().items())
     )
 
 

@@ -6,25 +6,19 @@ Run with::
 
 where ``MODEL`` is one of the Table 2 short names (A, SQ, V, R, S-R, S-M, DB,
 MB; default SQ) and ``MAX_LAYERS`` caps how many layers are simulated
-(default 8).  The script chains the model's layers through the scheduler on
-the SIGMA-like, SpArch-like, GAMMA-like and Flexagon designs and reports the
-per-layer dataflow choices and the end-to-end comparison — a miniature
-version of the paper's Fig. 12.
+(default 8).  The script fans the (design, layer) grid out through the
+:mod:`repro.runtime` batch runner — in parallel on a cold cache, answered
+from the persistent result cache on repeat runs — and reports the per-layer
+dataflow choices and the end-to-end comparison — a miniature version of the
+paper's Fig. 12.
 """
 
 import sys
 
-from repro.accelerators import (
-    CpuMklLikeBaseline,
-    FlexagonAccelerator,
-    GammaLikeAccelerator,
-    SigmaLikeAccelerator,
-    SparchLikeAccelerator,
-)
-from repro.core import DnnScheduler, LayerExecution, OracleMapper
 from repro.experiments import default_settings
-from repro.metrics import format_table
-from repro.workloads import get_model, materialize_layer
+from repro.metrics import ModelSimResult, format_table
+from repro.runtime import CPU_DESIGN, DESIGN_ORDER, SimJob, default_runner
+from repro.workloads import get_model
 
 
 def main() -> None:
@@ -39,32 +33,31 @@ def main() -> None:
     print(f"{model.name}: simulating {len(layers)}/{model.num_layers} layers "
           f"at scale {scale:.3f}")
 
-    executions = []
-    operands = []
-    for spec in layers:
-        a, b = materialize_layer(spec, scale=scale)
-        executions.append(LayerExecution(a=a, b=b, name=spec.name))
-        operands.append((a, b))
-
-    designs = [
-        SigmaLikeAccelerator(config),
-        SparchLikeAccelerator(config),
-        GammaLikeAccelerator(config),
-        FlexagonAccelerator(config, mapper=OracleMapper(config)),
+    runner = default_runner()
+    jobs = [
+        SimJob(design=design, config=config, spec=spec, scale=scale,
+               layer_name=spec.name)
+        for design in DESIGN_ORDER + (CPU_DESIGN,)
+        for spec in layers
     ]
-    cpu_seconds = CpuMklLikeBaseline().run_model(operands).seconds
+    grid = iter(runner.run(jobs))
+    per_design = {}
+    for design in DESIGN_ORDER + (CPU_DESIGN,):
+        per_design[design] = [next(grid) for _ in layers]
+
+    cpu_seconds = sum(layer.seconds for layer in per_design[CPU_DESIGN])
 
     rows = []
     flexagon_result = None
-    for design in designs:
-        scheduler = DnnScheduler(design, track_activation_layout=False)
-        result = scheduler.run_model(executions, model_name=model.name)
-        if design.name == "Flexagon":
+    for design in DESIGN_ORDER:
+        result = ModelSimResult(accelerator=design, model_name=model.name,
+                                layer_results=per_design[design])
+        if design == "Flexagon":
             flexagon_result = result
         seconds = config.cycles_to_seconds(result.total_cycles)
         rows.append(
             {
-                "design": design.name,
+                "design": design,
                 "cycles": round(result.total_cycles),
                 "speed-up vs CPU": round(cpu_seconds / seconds, 2),
                 "on-chip traffic (MB)": round(result.total_traffic.onchip_bytes / 1e6, 2),

@@ -146,10 +146,32 @@ class OracleMapper:
     Simulates every candidate dataflow with the cycle-accounting engine and
     picks the one with the fewest cycles.  Used by the mapper ablation bench
     and as ground truth when validating the heuristic.
+
+    The candidate trials are the hottest redundant work in the harness (the
+    same operands are simulated under up to six dataflows, and then again by
+    whoever asked), so they are submitted as content-addressed jobs through a
+    :class:`repro.runtime.BatchRunner`: a layer the oracle has seen before —
+    in this process or any earlier one — costs a cache lookup instead of six
+    simulations.  The runner is serial by default because ``select`` already
+    runs inside pool workers during parallel sweeps.
     """
 
-    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        runner: "object | None" = None,
+    ) -> None:
         self.config = config or default_config()
+        self._runner = runner
+
+    @property
+    def runner(self):
+        """The job runner candidate trials go through (lazily constructed)."""
+        if self._runner is None:
+            from repro.runtime import trial_runner
+
+            self._runner = trial_runner()
+        return self._runner
 
     def select(
         self,
@@ -160,13 +182,17 @@ class OracleMapper:
         produced_layout: Layout | None = None,
     ) -> Dataflow:
         """Pick the fastest dataflow by simulating every legal candidate."""
-        from repro.accelerators.engine import SpmspmEngine
+        from repro.runtime import ENGINE_DESIGN, SimJob
 
-        engine = SpmspmEngine(self.config)
         candidates = _candidate_variants(activation_layout, produced_layout)
+        trials = self.runner.run(
+            [
+                SimJob(design=ENGINE_DESIGN, config=self.config, a=a, b=b, dataflow=dataflow)
+                for dataflow in candidates
+            ]
+        )
         best: tuple[float, Dataflow] | None = None
-        for dataflow in candidates:
-            result = engine.run_layer(dataflow, a, b)
+        for dataflow, result in zip(candidates, trials):
             if best is None or result.total_cycles < best[0]:
                 best = (result.total_cycles, dataflow)
         assert best is not None

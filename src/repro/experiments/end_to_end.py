@@ -3,49 +3,33 @@
 One call to :func:`run_end_to_end` executes (a sampled, scaled version of)
 every model on the CPU baseline and the four accelerator designs; the
 per-figure ``*_rows`` helpers then turn the shared results into the rows each
-figure or table reports.  Results are cached per settings object.
+figure or table reports.
+
+The sweep is expressed as a flat (model, design, layer) job grid submitted
+through :class:`repro.runtime.BatchRunner`: layers of a chain are independent
+here (the mapper plans format variants globally, Section 3.3, so no
+conversion state flows between layers), which makes the grid embarrassingly
+parallel and lets the runtime answer repeat runs from its persistent cache.
+Results are additionally memoized in-process per settings object.
 """
 
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.accelerators import (
-    CpuMklLikeBaseline,
-    FlexagonAccelerator,
-    GammaLikeAccelerator,
-    SigmaLikeAccelerator,
-    SparchLikeAccelerator,
-    accelerator_area_power,
-)
-from repro.core.scheduler import DnnScheduler, LayerExecution
-from repro.core.mapper import OracleMapper
+from repro.accelerators import accelerator_area_power
 from repro.experiments.settings import ExperimentSettings, default_settings
 from repro.metrics.results import ModelSimResult, geometric_mean
-from repro.workloads.layers import LayerSpec, materialize_layer
+from repro.runtime import (
+    CPU_DESIGN,
+    DESIGN_ORDER,
+    BatchRunner,
+    SimJob,
+    default_runner,
+)
+from repro.workloads.layers import LayerSpec
 from repro.workloads.models import MODEL_REGISTRY, ModelSpec
-
-DESIGN_ORDER = ("SIGMA-like", "SpArch-like", "GAMMA-like", "Flexagon")
-
-_DESIGN_CLASSES = {
-    "SIGMA-like": SigmaLikeAccelerator,
-    "SpArch-like": SparchLikeAccelerator,
-    "GAMMA-like": GammaLikeAccelerator,
-    "Flexagon": FlexagonAccelerator,
-}
-
-
-def _build_design(design: str, config):
-    """Instantiate one design; Flexagon gets the oracle mapper.
-
-    The paper configures Flexagon with the most suitable dataflow per layer
-    (the offline mapper/compiler of Fig. 3b); the oracle mapper reproduces
-    that by simulating the candidate dataflows and picking the fastest.
-    """
-    if design == "Flexagon":
-        return FlexagonAccelerator(config, mapper=OracleMapper(config))
-    return _DESIGN_CLASSES[design](config)
 
 
 @dataclass
@@ -64,7 +48,7 @@ class EndToEndResults:
     #: Extrapolation factor (total layers / sampled layers) per model.
     extrapolation: dict[str, float]
     #: The (scaled) accelerator configuration used for each model.
-    configs: dict[str, "object"] = None
+    configs: dict[str, "object"] = field(default_factory=dict)
 
     def model_names(self) -> list[str]:
         """Model short names in Table 2 order."""
@@ -85,7 +69,7 @@ class EndToEndResults:
         use this estimate.
         """
         seconds = self.accelerator_seconds(model, design)
-        config = (self.configs or {}).get(model, self.settings.config)
+        config = self.configs.get(model, self.settings.config)
         datapath_fraction = config.num_multipliers / self.settings.config.num_multipliers
         return seconds * datapath_fraction
 
@@ -99,48 +83,69 @@ def _sample_layers(model: ModelSpec, max_layers: int) -> list[LayerSpec]:
     return [layers[int(i * step)] for i in range(max_layers)]
 
 
-@functools.lru_cache(maxsize=4)
-def _cached_run(settings: ExperimentSettings) -> EndToEndResults:
+def _job_grid(
+    settings: ExperimentSettings,
+) -> tuple[list[SimJob], dict[str, object], dict[str, list[LayerSpec]]]:
+    """The flat (model, design, layer) job grid of the end-to-end sweep."""
+    jobs: list[SimJob] = []
+    configs: dict[str, object] = {}
+    sampled_specs: dict[str, list[LayerSpec]] = {}
+    for short_name, model in MODEL_REGISTRY.items():
+        sampled = _sample_layers(model, settings.max_layers_per_model)
+        sampled_specs[short_name] = sampled
+        # One common scale per model keeps successive layers chainable.
+        scale = min(settings.layer_scale(spec) for spec in sampled)
+        config = settings.scaled_config(scale)
+        configs[short_name] = config
+        for spec in sampled:
+            seed = spec.deterministic_seed(settings.seed_salt)
+            # Weights are stored offline in both formats and the mapper plans
+            # the M/N variants globally, so chains never need conversions
+            # (Section 3.3); each layer is therefore an independent job.
+            for design in DESIGN_ORDER + (CPU_DESIGN,):
+                jobs.append(
+                    SimJob(
+                        design=design,
+                        config=config,
+                        spec=spec,
+                        scale=scale,
+                        seed=seed,
+                        layer_name=spec.name,
+                    )
+                )
+    return jobs, configs, sampled_specs
+
+
+def _run_with_runner(
+    settings: ExperimentSettings, runner: BatchRunner
+) -> EndToEndResults:
+    jobs, configs, sampled_specs = _job_grid(settings)
+    grid_results = iter(runner.run(jobs))
+
     accelerator_results: dict[str, dict[str, ModelSimResult]] = {}
     cpu_cycles: dict[str, float] = {}
     cpu_seconds: dict[str, float] = {}
     sampled_counts: dict[str, int] = {}
     extrapolation: dict[str, float] = {}
-    configs: dict[str, object] = {}
-    cpu = CpuMklLikeBaseline()
-
     for short_name, model in MODEL_REGISTRY.items():
-        sampled = _sample_layers(model, settings.max_layers_per_model)
+        sampled = sampled_specs[short_name]
         sampled_counts[short_name] = len(sampled)
         extrapolation[short_name] = model.num_layers / len(sampled)
-
-        # One common scale per model keeps successive layers chainable.
-        scale = min(settings.layer_scale(spec) for spec in sampled)
-        config = settings.scaled_config(scale)
-        configs[short_name] = config
-
-        executions = []
-        operands = []
-        for spec in sampled:
-            a, b = materialize_layer(
-                spec, scale=scale, seed=spec.deterministic_seed(settings.seed_salt)
-            )
-            executions.append(LayerExecution(a=a, b=b, name=spec.name))
-            operands.append((a, b))
-
-        per_design: dict[str, ModelSimResult] = {}
-        for design in DESIGN_ORDER:
-            accelerator = _build_design(design, config)
-            # Weights are stored offline in both formats and the mapper plans
-            # the M/N variants globally, so chains never need conversions
-            # (Section 3.3); selection is therefore unconstrained here.
-            scheduler = DnnScheduler(accelerator, track_activation_layout=False)
-            per_design[design] = scheduler.run_model(executions, model_name=model.name)
+        per_design = {
+            design: ModelSimResult(accelerator=design, model_name=model.name)
+            for design in DESIGN_ORDER
+        }
+        model_cpu_cycles = 0.0
+        model_cpu_seconds = 0.0
+        for _spec in sampled:
+            for design in DESIGN_ORDER:
+                per_design[design].layer_results.append(next(grid_results))
+            cpu_layer = next(grid_results)
+            model_cpu_cycles += cpu_layer.cycles
+            model_cpu_seconds += cpu_layer.seconds
         accelerator_results[short_name] = per_design
-
-        cpu_total = cpu.run_model(operands)
-        cpu_cycles[short_name] = cpu_total.cycles
-        cpu_seconds[short_name] = cpu_total.seconds
+        cpu_cycles[short_name] = model_cpu_cycles
+        cpu_seconds[short_name] = model_cpu_seconds
 
     return EndToEndResults(
         settings=settings,
@@ -153,9 +158,27 @@ def _cached_run(settings: ExperimentSettings) -> EndToEndResults:
     )
 
 
-def run_end_to_end(settings: ExperimentSettings | None = None) -> EndToEndResults:
-    """Execute the eight models on the CPU and the four designs (cached)."""
-    return _cached_run(settings or default_settings())
+@functools.lru_cache(maxsize=4)
+def _cached_run(settings: ExperimentSettings) -> EndToEndResults:
+    return _run_with_runner(settings, default_runner())
+
+
+def run_end_to_end(
+    settings: ExperimentSettings | None = None,
+    runner: BatchRunner | None = None,
+) -> EndToEndResults:
+    """Execute the eight models on the CPU and the four designs.
+
+    With the default ``runner`` the call is memoized in-process per settings
+    object (and across processes by the runtime's on-disk cache).  Passing an
+    explicit :class:`~repro.runtime.BatchRunner` bypasses the in-process
+    memo — that is the hook the runtime tests use to observe cache and
+    executor behaviour directly.
+    """
+    settings = settings or default_settings()
+    if runner is None:
+        return _cached_run(settings)
+    return _run_with_runner(settings, runner)
 
 
 # ----------------------------------------------------------------------

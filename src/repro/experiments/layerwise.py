@@ -2,8 +2,11 @@
 
 One call to :func:`run_layerwise_comparison` simulates every representative
 layer on the four accelerator designs; the per-figure ``*_rows`` helpers then
-slice the same results into the rows each figure plots.  Results are cached
-per settings object so the four benchmark files do not redo the simulation.
+slice the same results into the rows each figure plots.  The (layer, design)
+grid is submitted through :class:`repro.runtime.BatchRunner`, so the sweep
+runs in parallel and repeat runs are answered from the runtime's persistent
+cache; results are additionally memoized in-process per settings object so
+the four benchmark files do not redo even the cache lookups.
 """
 
 from __future__ import annotations
@@ -11,39 +14,10 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass
 
-from repro.accelerators import (
-    FlexagonAccelerator,
-    GammaLikeAccelerator,
-    SigmaLikeAccelerator,
-    SparchLikeAccelerator,
-)
-from repro.core.mapper import OracleMapper
 from repro.experiments.settings import ExperimentSettings, default_settings
 from repro.metrics.results import LayerSimResult
-from repro.workloads.layers import materialize_layer
+from repro.runtime import DESIGN_ORDER, BatchRunner, SimJob, default_runner
 from repro.workloads.representative import REPRESENTATIVE_LAYERS, representative_layer_names
-
-#: The four hardware designs of the paper's comparison, in plot order.
-DESIGN_ORDER = ("SIGMA-like", "SpArch-like", "GAMMA-like", "Flexagon")
-
-_DESIGN_CLASSES = {
-    "SIGMA-like": SigmaLikeAccelerator,
-    "SpArch-like": SparchLikeAccelerator,
-    "GAMMA-like": GammaLikeAccelerator,
-    "Flexagon": FlexagonAccelerator,
-}
-
-
-def _build_design(design: str, config):
-    """Instantiate one design; Flexagon gets the oracle mapper.
-
-    The paper configures Flexagon with the most suitable dataflow per layer
-    (the offline mapper/compiler of Fig. 3b); the oracle mapper reproduces
-    that by simulating the candidate dataflows and picking the fastest.
-    """
-    if design == "Flexagon":
-        return FlexagonAccelerator(config, mapper=OracleMapper(config))
-    return _DESIGN_CLASSES[design](config)
 
 
 @dataclass
@@ -65,28 +39,48 @@ class LayerwiseResults:
         return self.results[layer][design]
 
 
+def _run_with_runner(
+    settings: ExperimentSettings, runner: BatchRunner
+) -> LayerwiseResults:
+    scales = {spec.name: settings.layer_scale(spec) for spec in REPRESENTATIVE_LAYERS}
+    jobs = [
+        SimJob(
+            design=design,
+            config=settings.scaled_config(scales[spec.name]),
+            spec=spec,
+            scale=scales[spec.name],
+            seed=spec.deterministic_seed(settings.seed_salt),
+            layer_name=spec.name,
+        )
+        for spec in REPRESENTATIVE_LAYERS
+        for design in DESIGN_ORDER
+    ]
+    grid_results = iter(runner.run(jobs))
+    results: dict[str, dict[str, LayerSimResult]] = {}
+    for spec in REPRESENTATIVE_LAYERS:
+        results[spec.name] = {design: next(grid_results) for design in DESIGN_ORDER}
+    return LayerwiseResults(settings=settings, results=results, scales=scales)
+
+
 @functools.lru_cache(maxsize=4)
 def _cached_run(settings: ExperimentSettings) -> LayerwiseResults:
-    results: dict[str, dict[str, LayerSimResult]] = {}
-    scales: dict[str, float] = {}
-    for spec in REPRESENTATIVE_LAYERS:
-        scale = settings.layer_scale(spec)
-        scales[spec.name] = scale
-        config = settings.scaled_config(scale)
-        a, b = materialize_layer(spec, scale=scale, seed=spec.deterministic_seed(settings.seed_salt))
-        per_design: dict[str, LayerSimResult] = {}
-        for design in DESIGN_ORDER:
-            accelerator = _build_design(design, config)
-            per_design[design] = accelerator.run_layer(a, b, layer_name=spec.name)
-        results[spec.name] = per_design
-    return LayerwiseResults(settings=settings, results=results, scales=scales)
+    return _run_with_runner(settings, default_runner())
 
 
 def run_layerwise_comparison(
     settings: ExperimentSettings | None = None,
+    runner: BatchRunner | None = None,
 ) -> LayerwiseResults:
-    """Simulate the nine Table 6 layers on the four designs (cached)."""
-    return _cached_run(settings or default_settings())
+    """Simulate the nine Table 6 layers on the four designs.
+
+    Memoized in-process per settings object (and across processes by the
+    runtime's on-disk cache); an explicit ``runner`` bypasses the in-process
+    memo, exposing cache and executor behaviour to the runtime tests.
+    """
+    settings = settings or default_settings()
+    if runner is None:
+        return _cached_run(settings)
+    return _run_with_runner(settings, runner)
 
 
 # ----------------------------------------------------------------------

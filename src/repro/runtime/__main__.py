@@ -1,0 +1,35 @@
+"""Maintenance CLI for the on-disk result cache.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.runtime stats   # entry count + size
+    PYTHONPATH=src python -m repro.runtime clear   # drop every entry
+
+Both honour ``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.runtime.cache import ResultCache
+
+
+def main(argv: list[str]) -> int:
+    command = argv[0] if argv else "stats"
+    cache = ResultCache()
+    if command == "stats":
+        print(f"cache directory : {cache.directory}")
+        print(f"entries         : {cache.entry_count()}")
+        print(f"size            : {cache.size_bytes() / 1e6:.2f} MB")
+        return 0
+    if command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    print(f"unknown command {command!r}; expected 'stats' or 'clear'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,139 @@
+"""Persistent, content-addressed result cache for simulation jobs.
+
+Completed jobs are memoized on disk keyed by :meth:`SimJob.key`, so any
+process that builds the same job — a later benchmark invocation, a pytest
+re-run, a worker process of the parallel executor — gets the finished result
+back instead of re-simulating.  Entries are pickled result records stored as
+``<dir>/<key[:2]>/<key>.pkl``; writes go through a temporary file plus
+:func:`os.replace` so concurrent writers (the pool workers all share one
+directory) can never leave a torn file behind.
+
+The cache is *input*-addressed, not code-addressed: if the simulator's
+semantics change, bump :data:`repro.runtime.jobs.CACHE_SCHEMA_VERSION` (or
+clear the directory with ``python -m repro.runtime clear``).
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default: ``.repro_cache`` under the
+  current working directory).
+* ``REPRO_CACHE=0`` — disable the on-disk layer entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+MISS = object()
+
+#: Upper bound on blobs kept in a cache instance's in-memory level.  The
+#: disk level is authoritative; this only caps RAM held by long sessions
+#: (e.g. the process-wide default runner over a full-scale sweep).
+MEMORY_ENTRY_LIMIT = 4096
+
+
+def default_cache_dir() -> Path:
+    """The cache directory the environment asks for."""
+    return Path(os.environ.get("REPRO_CACHE_DIR") or ".repro_cache")
+
+
+class ResultCache:
+    """Two-level (memory + disk) store of finished job results.
+
+    The in-memory level keeps the *pickled* bytes rather than the live
+    object: every :meth:`get` deserialises a fresh copy, so callers can
+    mutate a returned record (the scheduler folds conversion costs into
+    layer results, for example) without corrupting the cache.  It is an LRU
+    bounded to :data:`MEMORY_ENTRY_LIMIT` blobs; evicted entries simply fall
+    back to the disk level.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self._memory: OrderedDict[str, bytes] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """On-disk location of one entry."""
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached result for ``key``, or :data:`MISS`."""
+        blob = self._memory.get(key)
+        if blob is None:
+            path = self.path_for(key)
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                return MISS
+            self._remember(key, blob)
+        else:
+            self._memory.move_to_end(key)
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            # A torn or stale entry (e.g. written by an incompatible version)
+            # is indistinguishable from a miss; drop it so it gets rebuilt.
+            self._memory.pop(key, None)
+            self.path_for(key).unlink(missing_ok=True)
+            return MISS
+
+    def _remember(self, key: str, blob: bytes) -> None:
+        self._memory[key] = blob
+        self._memory.move_to_end(key)
+        while len(self._memory) > MEMORY_ENTRY_LIMIT:
+            self._memory.popitem(last=False)
+
+    def put(self, key: str, value: object) -> None:
+        """Store one finished result under ``key``."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._remember(key, blob)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Remove every entry (memory and disk); returns entries removed.
+
+        Also sweeps ``*.tmp`` files a killed writer may have stranded
+        between ``mkstemp`` and ``os.replace``.
+        """
+        self._memory.clear()
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            for path in self.directory.glob("*/*.tmp"):
+                path.unlink(missing_ok=True)
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def size_bytes(self) -> int:
+        """Total bytes the on-disk entries occupy."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.directory.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache({str(self.directory)!r})"

@@ -1,0 +1,254 @@
+"""The job model of the batched simulation runtime.
+
+A :class:`SimJob` describes one independent unit of simulation work — one
+SpMSpM layer on one design — as plain data: the accelerator configuration,
+the layer (either a :class:`~repro.workloads.layers.LayerSpec` materialised
+on the worker, or a concrete operand pair), the RNG seed and an optional
+forced dataflow.  Because a job is data, it can be
+
+* shipped to a worker process and executed there (:func:`execute_job`), and
+* identified by a stable content hash (:meth:`SimJob.key`) that is the same
+  in every process and across interpreter runs, which is what makes the
+  on-disk result cache (:mod:`repro.runtime.cache`) correct.
+
+The key deliberately covers *everything the result depends on*: the design,
+every configuration field, the layer spec (or the full operand contents when
+explicit matrices are given), scale, seed and forced dataflow, plus a schema
+version that must be bumped whenever the simulator's semantics change.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import hashlib
+import json
+import weakref
+from dataclasses import asdict, dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.dataflows.base import Dataflow
+from repro.sparse.formats import CompressedMatrix
+from repro.workloads.layers import LayerSpec, materialize_layer
+
+#: Bump whenever the meaning of a cached result changes (simulator semantics,
+#: result record layout, ...).  Stale cache entries then simply never hit.
+CACHE_SCHEMA_VERSION = 1
+
+#: The four hardware designs of the paper's comparison, in plot order.
+DESIGN_ORDER = ("SIGMA-like", "SpArch-like", "GAMMA-like", "Flexagon")
+
+#: Software baseline design name (the CPU MKL-like cost model).
+CPU_DESIGN = "CPU-MKL"
+
+#: Raw engine runs (a forced dataflow on the shared substrate, no design
+#: policy) — the unit of the oracle mapper's candidate trials.
+ENGINE_DESIGN = "engine"
+
+_KNOWN_DESIGNS = DESIGN_ORDER + (CPU_DESIGN, ENGINE_DESIGN)
+
+
+#: Default for ``trial_cache``: use the process-wide trial runner.
+SHARED_TRIAL_CACHE = "<shared>"
+
+
+def build_design(
+    design: str,
+    config: AcceleratorConfig,
+    *,
+    trial_cache: object = SHARED_TRIAL_CACHE,
+):
+    """Instantiate one hardware design; Flexagon gets the oracle mapper.
+
+    The paper configures Flexagon with the most suitable dataflow per layer
+    (the offline mapper/compiler of Fig. 3b); the oracle mapper reproduces
+    that by simulating the candidate dataflows and picking the fastest.
+
+    ``trial_cache`` controls where the oracle's candidate trials are
+    memoized: the default (:data:`SHARED_TRIAL_CACHE`) routes them through
+    the process-wide (env configured) trial runner; a
+    :class:`~repro.runtime.cache.ResultCache` instance or a directory path
+    gives the mapper a private serial runner over that cache; ``None``
+    disables trial caching entirely.  A
+    :class:`~repro.runtime.runner.BatchRunner` forwards its own cache here
+    (the live object in-process, the directory across a pool boundary) so
+    nested trial work can never read or write a cache the caller did not
+    choose.
+    """
+    from repro.accelerators import (
+        FlexagonAccelerator,
+        GammaLikeAccelerator,
+        SigmaLikeAccelerator,
+        SparchLikeAccelerator,
+    )
+
+    if design == "Flexagon":
+        from repro.core.mapper import OracleMapper
+
+        if isinstance(trial_cache, str) and trial_cache == SHARED_TRIAL_CACHE:
+            mapper = OracleMapper(config)
+        else:
+            from repro.runtime.cache import ResultCache
+            from repro.runtime.runner import BatchRunner
+
+            if trial_cache is not None and not isinstance(trial_cache, ResultCache):
+                trial_cache = ResultCache(trial_cache)
+            mapper = OracleMapper(
+                config, runner=BatchRunner(parallel=False, cache=trial_cache)
+            )
+        return FlexagonAccelerator(config, mapper=mapper)
+    classes = {
+        "SIGMA-like": SigmaLikeAccelerator,
+        "SpArch-like": SparchLikeAccelerator,
+        "GAMMA-like": GammaLikeAccelerator,
+    }
+    return classes[design](config)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation unit of a sweep.
+
+    Exactly one of two layer descriptions must be provided:
+
+    * ``spec`` (with ``scale`` and ``seed``) — the operands are generated on
+      the executing worker, so the job itself stays tiny, or
+    * ``a`` and ``b`` — explicit operands, content-addressed by hashing their
+      stored arrays (used by the oracle mapper's candidate trials).
+    """
+
+    design: str
+    config: AcceleratorConfig
+    spec: LayerSpec | None = None
+    scale: float = 1.0
+    seed: int | None = None
+    dataflow: Dataflow | None = None
+    layer_name: str = ""
+    a: CompressedMatrix | None = None
+    b: CompressedMatrix | None = None
+
+    def __post_init__(self) -> None:
+        if self.design not in _KNOWN_DESIGNS:
+            raise ValueError(
+                f"unknown design {self.design!r}; expected one of {_KNOWN_DESIGNS}"
+            )
+        has_operands = self.a is not None and self.b is not None
+        if (self.a is None) != (self.b is None):
+            raise ValueError("operands a and b must be given together")
+        if has_operands == (self.spec is not None):
+            raise ValueError("provide either a layer spec or an (a, b) operand pair")
+        if self.design == ENGINE_DESIGN and self.dataflow is None:
+            raise ValueError("engine jobs must force a dataflow")
+
+    # ------------------------------------------------------------------
+    def resolved_seed(self) -> int | None:
+        """The RNG seed actually used when materialising from a spec."""
+        if self.spec is None:
+            return None
+        return self.seed if self.seed is not None else self.spec.deterministic_seed()
+
+    def operands(self) -> tuple[CompressedMatrix, CompressedMatrix]:
+        """The concrete ``(A, B)`` pair this job simulates."""
+        if self.a is not None and self.b is not None:
+            return self.a, self.b
+        return materialize_layer(self.spec, scale=self.scale, seed=self.resolved_seed())
+
+    # ------------------------------------------------------------------
+    def key(self) -> str:
+        """Stable content hash identifying this job across processes.
+
+        Built from a canonical JSON rendering of every input the result
+        depends on and hashed with SHA-256, so it does not depend on
+        ``PYTHONHASHSEED``, interpreter build or process identity.
+        """
+        payload: dict[str, object] = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "design": self.design,
+            # The CPU baseline never reads the accelerator config, so it is
+            # normalised out of CPU keys: one cached CPU result serves every
+            # accelerator design point over the same operands.
+            "config": _config_blob(self.config) if self.design != CPU_DESIGN else None,
+            "dataflow": self.dataflow.name if self.dataflow is not None else None,
+            "layer_name": self.layer_name,
+        }
+        if self.spec is not None:
+            payload["spec"] = asdict(self.spec)
+            payload["scale"] = self.scale
+            payload["seed"] = self.resolved_seed()
+        else:
+            payload["a"] = _matrix_digest(self.a)
+            payload["b"] = _matrix_digest(self.b)
+        if self.design == CPU_DESIGN:
+            from repro.accelerators.cpu import CpuConfig
+
+            payload["cpu_config"] = asdict(CpuConfig())
+        encoded = json.dumps(payload, sort_keys=True, default=_json_default)
+        return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def execute_job(job: SimJob, *, trial_cache: object = SHARED_TRIAL_CACHE):
+    """Run one job to completion and return its result record.
+
+    This is a module-level function (not a method) so that
+    :class:`concurrent.futures.ProcessPoolExecutor` can pickle it by
+    reference and ship only the job data to the worker.
+    ``trial_cache`` is forwarded to :func:`build_design`.
+    """
+    a, b = job.operands()
+    if job.design == CPU_DESIGN:
+        from repro.accelerators.cpu import CpuMklLikeBaseline
+
+        return CpuMklLikeBaseline().run_layer(a, b, layer_name=job.layer_name)
+    if job.design == ENGINE_DESIGN:
+        from repro.accelerators.engine import SpmspmEngine
+
+        return SpmspmEngine(job.config).run_layer(
+            job.dataflow, a, b, layer_name=job.layer_name
+        )
+    accelerator = build_design(job.design, job.config, trial_cache=trial_cache)
+    return accelerator.run_layer(
+        a, b, dataflow=job.dataflow, layer_name=job.layer_name
+    )
+
+
+# ----------------------------------------------------------------------
+# Hashing helpers
+# ----------------------------------------------------------------------
+#: Per-instance digest memo: the oracle mapper keys up to six candidate jobs
+#: over the same operand pair, so each matrix is hashed once, not per job.
+#: Keyed by ``id`` (matrices are unhashable); the weakref callback evicts an
+#: entry when its matrix is collected, so a recycled id can never alias.
+_MATRIX_DIGESTS: dict[int, tuple["weakref.ref[CompressedMatrix]", str]] = {}
+
+
+def _matrix_digest(matrix: CompressedMatrix) -> str:
+    """Content hash of a compressed matrix (layout, shape and stored arrays)."""
+    entry = _MATRIX_DIGESTS.get(id(matrix))
+    if entry is not None and entry[0]() is matrix:
+        return entry[1]
+    digest = hashlib.sha256()
+    digest.update(matrix.layout.value.encode())
+    digest.update(f"{matrix.nrows}x{matrix.ncols}".encode())
+    digest.update(matrix.pointers.tobytes())
+    digest.update(matrix.indices.tobytes())
+    digest.update(matrix.values.tobytes())
+    value = digest.hexdigest()
+    key = id(matrix)
+    _MATRIX_DIGESTS[key] = (
+        weakref.ref(matrix, lambda _ref: _MATRIX_DIGESTS.pop(key, None)),
+        value,
+    )
+    return value
+
+
+@functools.lru_cache(maxsize=64)
+def _config_blob(config: AcceleratorConfig) -> str:
+    """Canonical JSON of a (frozen, hashable) accelerator configuration."""
+    return json.dumps(asdict(config), sort_keys=True)
+
+
+def _json_default(value: object) -> object:
+    """JSON encoder fallback for the enum members inside specs/configs."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for hashing")

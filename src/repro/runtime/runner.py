@@ -1,0 +1,218 @@
+"""The batched simulation runner: fan a job grid out, memoize the results.
+
+:class:`BatchRunner` is the single entry point every sweep in this repository
+goes through (the end-to-end and layer-wise experiment harnesses, the oracle
+mapper's candidate trials, the examples and the benchmark suite).  It takes a
+flat list of :class:`~repro.runtime.jobs.SimJob` descriptions and returns
+their results in order, doing three things along the way:
+
+1. **Cache lookup** — jobs whose key is already in the
+   :class:`~repro.runtime.cache.ResultCache` are never re-executed.
+2. **Deduplication** — identical jobs appearing more than once in a batch
+   are executed once.
+3. **Execution** — remaining jobs run either serially (``parallel=False``,
+   the determinism-checking reference) or fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor` (the default).  Jobs are
+   pure functions of their inputs, so both modes produce bit-identical
+   results; the parallel mode merely uses more cores.
+
+Environment knobs (read when a runner is constructed without explicit
+arguments):
+
+* ``REPRO_PARALLEL=0``   — force serial execution.
+* ``REPRO_WORKERS=N``    — process-pool width (default: ``min(cpu_count, 8)``;
+  ``1`` implies serial).
+* ``REPRO_CACHE=0``      — run without any result cache.
+* ``REPRO_CACHE_DIR``    — cache directory (see :mod:`repro.runtime.cache`).
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.runtime.cache import MISS, ResultCache
+from repro.runtime.jobs import SimJob, execute_job
+
+#: Default sentinel so ``cache=None`` can explicitly mean "no cache".
+_DEFAULT = object()
+
+
+def _env_parallel() -> bool:
+    return os.environ.get("REPRO_PARALLEL", "1") != "0"
+
+
+def _env_workers() -> int:
+    value = os.environ.get("REPRO_WORKERS")
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {value!r}"
+            ) from None
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _env_cache() -> ResultCache | None:
+    if os.environ.get("REPRO_CACHE", "1") == "0":
+        return None
+    return ResultCache()
+
+
+@dataclass
+class RunnerStats:
+    """Counters a :class:`BatchRunner` accumulates over its lifetime."""
+
+    #: Jobs handed to :meth:`BatchRunner.run` in total.
+    submitted: int = 0
+    #: Jobs answered from the result cache.
+    cache_hits: int = 0
+    #: Jobs not found in the cache.
+    cache_misses: int = 0
+    #: Jobs actually simulated (cache misses minus in-batch duplicates).
+    executed: int = 0
+
+    def as_row(self) -> dict[str, int]:
+        """Row-form summary (for the benchmark session report)."""
+        return {
+            "submitted": self.submitted,
+            "cache hits": self.cache_hits,
+            "cache misses": self.cache_misses,
+            "executed": self.executed,
+        }
+
+
+class BatchRunner:
+    """Executes simulation job grids with caching and optional parallelism."""
+
+    def __init__(
+        self,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+        cache: ResultCache | None | object = _DEFAULT,
+    ) -> None:
+        self.max_workers = max_workers if max_workers is not None else _env_workers()
+        self.parallel = (parallel if parallel is not None else _env_parallel()) and (
+            self.max_workers > 1
+        )
+        self.cache = _env_cache() if cache is _DEFAULT else cache
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: list[SimJob]) -> list:
+        """Execute every job and return their results in submission order."""
+        jobs = list(jobs)
+        self.stats.submitted += len(jobs)
+        results: list = [None] * len(jobs)
+        #: key -> (job, [indices waiting for it]) for jobs the cache missed.
+        pending: dict[str, tuple[SimJob, list[int]]] = {}
+        for index, job in enumerate(jobs):
+            key = job.key()
+            cached = self.cache.get(key) if self.cache is not None else MISS
+            if cached is not MISS:
+                self.stats.cache_hits += 1
+                results[index] = cached
+                continue
+            self.stats.cache_misses += 1
+            if key in pending:
+                pending[key][1].append(index)
+            else:
+                pending[key] = (job, [index])
+
+        if pending:
+            keys = list(pending)
+            miss_jobs = [pending[key][0] for key in keys]
+            outcomes = self._execute(miss_jobs)
+            self.stats.executed += len(outcomes)
+            for key, outcome in zip(keys, outcomes):
+                if self.cache is not None:
+                    self.cache.put(key, outcome)
+                indices = pending[key][1]
+                results[indices[0]] = outcome
+                for duplicate in indices[1:]:
+                    # Duplicates get their own copy so mutating one result
+                    # can never alias another slot of the batch.
+                    results[duplicate] = copy.deepcopy(outcome)
+        return results
+
+    def run_one(self, job: SimJob):
+        """Convenience wrapper: run a single job."""
+        return self.run([job])[0]
+
+    # ------------------------------------------------------------------
+    def _execute(self, jobs: list[SimJob]) -> list:
+        # Nested work (Flexagon's oracle-mapper trials) must land in *this*
+        # runner's cache — not the env-default one — and must stay uncached
+        # when this runner was explicitly built without a cache.  In-process
+        # execution hands over the live cache object (keeping its in-memory
+        # memo warm across jobs); the pool path ships the directory instead,
+        # since the memo dict should not be pickled to every worker.
+        if not self.parallel or len(jobs) < 2:
+            run = functools.partial(execute_job, trial_cache=self.cache)
+            return [run(job) for job in jobs]
+        trial_dir = None if self.cache is None else str(self.cache.directory)
+        run = functools.partial(execute_job, trial_cache=trial_dir)
+        workers = min(self.max_workers, len(jobs))
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            return list(pool.map(run, jobs, chunksize=chunksize))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = f"parallel x{self.max_workers}" if self.parallel else "serial"
+        return f"BatchRunner({mode}, cache={self.cache!r})"
+
+
+def _pool_context():
+    """Prefer fork workers: they inherit the loaded modules, so tiny jobs do
+    not pay an interpreter start-up and re-import per worker."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Shared runner singletons
+# ----------------------------------------------------------------------
+_default_runner: BatchRunner | None = None
+_trial_runner: BatchRunner | None = None
+
+
+def default_runner() -> BatchRunner:
+    """The process-wide runner the experiment harnesses submit through.
+
+    Configured from the environment on first use; tests that need bespoke
+    behaviour should construct their own :class:`BatchRunner` and pass it to
+    the experiment entry points instead of mutating this one.
+    """
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = BatchRunner()
+    return _default_runner
+
+
+def trial_runner() -> BatchRunner:
+    """Serial runner for nested work (the oracle mapper's candidate trials).
+
+    Mapper trials already run *inside* pool workers during a parallel sweep,
+    so this runner never forks again — but it shares the default runner's
+    disk cache, which is what makes repeated oracle trials on the same
+    operands (the hottest redundant work of the harness) near-free.
+    """
+    global _trial_runner
+    if _trial_runner is None:
+        _trial_runner = BatchRunner(parallel=False, cache=default_runner().cache)
+    return _trial_runner
+
+
+def reset_default_runners() -> None:
+    """Drop the shared singletons (tests use this after changing the env)."""
+    global _default_runner, _trial_runner
+    _default_runner = None
+    _trial_runner = None

@@ -61,7 +61,9 @@ class CompressedMatrix:
         The value of each stored element.
     """
 
-    __slots__ = ("nrows", "ncols", "layout", "pointers", "indices", "values")
+    # __weakref__ lets the runtime memoize content digests per instance
+    # (repro.runtime.jobs) without keeping matrices alive.
+    __slots__ = ("nrows", "ncols", "layout", "pointers", "indices", "values", "__weakref__")
 
     def __init__(
         self,

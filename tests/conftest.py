@@ -1,0 +1,21 @@
+"""Test-session hygiene for the simulation runtime.
+
+The runtime's result cache is *input*-addressed, not code-addressed, so a
+cache populated by an older build of the simulator would happily answer for
+a newer one.  The test suite must never be lied to that way: unless the
+caller explicitly pins ``REPRO_CACHE_DIR``, point the cache at a fresh
+per-session temporary directory.  Within the session, caching and the
+parallel executor stay fully active — the tests exercise them on purpose.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+
+if "REPRO_CACHE_DIR" not in os.environ:
+    _cache_dir = tempfile.mkdtemp(prefix="repro-test-cache-")
+    os.environ["REPRO_CACHE_DIR"] = _cache_dir
+    atexit.register(shutil.rmtree, _cache_dir, ignore_errors=True)

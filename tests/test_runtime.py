@@ -1,0 +1,356 @@
+"""Tests of the batched simulation runtime (jobs, cache, runner).
+
+Covers the three properties the runtime guarantees:
+
+* **Determinism** — ``BatchRunner(parallel=True)`` and
+  ``BatchRunner(parallel=False)`` produce bit-identical results for the same
+  settings.
+* **Memoization** — a warm on-disk cache answers a repeated sweep without
+  re-simulating any layer (asserted through the runner's job counters).
+* **Stable identity** — job keys are pure content hashes: equal inputs give
+  equal keys in any process, regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.arch.config import default_config
+from repro.dataflows import Dataflow
+from repro.experiments import default_settings, run_end_to_end, run_layerwise_comparison
+from repro.runtime import (
+    CPU_DESIGN,
+    DESIGN_ORDER,
+    ENGINE_DESIGN,
+    MISS,
+    BatchRunner,
+    ResultCache,
+    SimJob,
+    execute_job,
+)
+from repro.sparse import random_sparse
+from repro.workloads.representative import REPRESENTATIVE_LAYERS
+
+#: Tiny budgets: the runtime tests re-run the end-to-end sweep several times.
+SETTINGS = default_settings(max_dense_macs=1e5, max_layers_per_model=2)
+
+
+def _layer_job(design: str = "SIGMA-like", index: int = 0, **overrides) -> SimJob:
+    spec = REPRESENTATIVE_LAYERS[index]
+    kwargs = dict(
+        design=design,
+        config=default_config(),
+        spec=spec,
+        scale=0.05,
+        seed=spec.deterministic_seed(0),
+        layer_name=spec.name,
+    )
+    kwargs.update(overrides)
+    return SimJob(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# SimJob construction and keys
+# ----------------------------------------------------------------------
+class TestSimJob:
+    def test_rejects_unknown_design(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            _layer_job(design="TPU-like")
+
+    def test_requires_spec_or_operands(self):
+        with pytest.raises(ValueError, match="layer spec or"):
+            SimJob(design="SIGMA-like", config=default_config())
+
+    def test_rejects_spec_and_operands_together(self):
+        a = random_sparse(8, 8, density=0.5, seed=0)
+        b = random_sparse(8, 8, density=0.5, seed=1)
+        with pytest.raises(ValueError, match="either a layer spec"):
+            SimJob(
+                design="SIGMA-like",
+                config=default_config(),
+                spec=REPRESENTATIVE_LAYERS[0],
+                a=a,
+                b=b,
+            )
+
+    def test_rejects_half_an_operand_pair(self):
+        a = random_sparse(8, 8, density=0.5, seed=0)
+        with pytest.raises(ValueError, match="together"):
+            SimJob(design="SIGMA-like", config=default_config(), a=a)
+
+    def test_engine_jobs_need_a_dataflow(self):
+        with pytest.raises(ValueError, match="force a dataflow"):
+            _layer_job(design=ENGINE_DESIGN)
+
+    def test_equal_jobs_have_equal_keys(self):
+        assert _layer_job().key() == _layer_job().key()
+
+    def test_key_covers_the_inputs(self):
+        base = _layer_job()
+        assert base.key() != _layer_job(design="GAMMA-like").key()
+        assert base.key() != _layer_job(seed=12345).key()
+        assert base.key() != _layer_job(scale=0.06).key()
+        assert base.key() != _layer_job(config=default_config(num_multipliers=32)).key()
+        assert base.key() != _layer_job(index=1).key()
+
+    def test_key_covers_operand_contents(self):
+        config = default_config()
+        a = random_sparse(10, 10, density=0.4, seed=0)
+        b1 = random_sparse(10, 10, density=0.4, seed=1)
+        b2 = random_sparse(10, 10, density=0.4, seed=2)
+        job1 = SimJob(design="SIGMA-like", config=config, a=a, b=b1)
+        job2 = SimJob(design="SIGMA-like", config=config, a=a, b=b2)
+        assert job1.key() != job2.key()
+
+    def test_default_seed_is_normalised_into_the_key(self):
+        spec = REPRESENTATIVE_LAYERS[0]
+        implicit = _layer_job(seed=None)
+        explicit = _layer_job(seed=spec.deterministic_seed())
+        assert implicit.key() == explicit.key()
+
+
+class TestKeyStabilityAcrossProcesses:
+    def test_key_is_independent_of_the_hash_seed(self):
+        """The same job must hash identically in a fresh interpreter."""
+        job = _layer_job()
+        code = (
+            "from repro.arch.config import default_config\n"
+            "from repro.runtime import SimJob\n"
+            "from repro.workloads.representative import REPRESENTATIVE_LAYERS\n"
+            "spec = REPRESENTATIVE_LAYERS[0]\n"
+            "job = SimJob(design='SIGMA-like', config=default_config(), spec=spec,\n"
+            "             scale=0.05, seed=spec.deterministic_seed(0), layer_name=spec.name)\n"
+            "print(job.key())\n"
+        )
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert proc.stdout.strip() == job.key()
+
+
+# ----------------------------------------------------------------------
+# ResultCache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" * 32) is MISS
+        cache.put("ab" * 32, {"cycles": 42.0})
+        assert cache.get("ab" * 32) == {"cycles": 42.0}
+        assert cache.entry_count() == 1
+
+    def test_survives_a_new_instance(self, tmp_path):
+        ResultCache(tmp_path).put("cd" * 32, [1, 2, 3])
+        assert ResultCache(tmp_path).get("cd" * 32) == [1, 2, 3]
+
+    def test_returns_fresh_copies(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ef" * 32, {"mutable": []})
+        first = cache.get("ef" * 32)
+        first["mutable"].append("oops")
+        assert cache.get("ef" * 32) == {"mutable": []}
+
+    def test_corrupt_entry_is_a_miss_and_gets_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "12" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is MISS
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("34" * 32, 1)
+        cache.put("56" * 32, 2)
+        stranded = cache.path_for("78" * 32).parent / "killed-writer.tmp"
+        stranded.parent.mkdir(parents=True, exist_ok=True)
+        stranded.write_bytes(b"partial")
+        assert cache.clear() == 2
+        assert cache.get("34" * 32) is MISS
+        assert cache.entry_count() == 0
+        assert not stranded.exists()
+
+    def test_memory_level_is_bounded(self, tmp_path, monkeypatch):
+        from repro.runtime import cache as cache_module
+
+        monkeypatch.setattr(cache_module, "MEMORY_ENTRY_LIMIT", 3)
+        cache = ResultCache(tmp_path)
+        keys = [f"{i:02d}" * 32 for i in range(5)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        assert len(cache._memory) == 3
+        # Evicted entries fall back to disk transparently.
+        assert cache.get(keys[0]) == 0
+
+
+# ----------------------------------------------------------------------
+# BatchRunner behaviour
+# ----------------------------------------------------------------------
+class TestBatchRunner:
+    def test_cache_miss_then_hit(self, tmp_path):
+        runner = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        job = _layer_job()
+        first = runner.run_one(job)
+        assert runner.stats.cache_misses == 1 and runner.stats.executed == 1
+        second = runner.run_one(job)
+        assert runner.stats.cache_hits == 1
+        assert runner.stats.executed == 1  # unchanged: second call hit
+        assert second.total_cycles == first.total_cycles
+
+    def test_in_batch_duplicates_execute_once(self, tmp_path):
+        runner = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        job = _layer_job()
+        results = runner.run([job, job, job])
+        assert runner.stats.executed == 1
+        assert len({id(r) for r in results}) == 3  # no aliased records
+        assert len({r.total_cycles for r in results}) == 1
+
+    def test_no_cache_means_no_memoization(self):
+        runner = BatchRunner(parallel=False, cache=None)
+        job = _layer_job()
+        runner.run_one(job)
+        runner.run_one(job)
+        assert runner.stats.executed == 2
+
+    def test_warm_disk_cache_spans_runner_instances(self, tmp_path):
+        cold = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        jobs = [_layer_job(design=d) for d in DESIGN_ORDER + (CPU_DESIGN,)]
+        cold.run(jobs)
+        assert cold.stats.executed == len(jobs)
+        warm = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        warm.run(jobs)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(jobs)
+
+    def test_execute_job_matches_runner_result(self):
+        job = _layer_job(design="GAMMA-like")
+        direct = execute_job(job)
+        via_runner = BatchRunner(parallel=False, cache=None).run_one(job)
+        assert via_runner.total_cycles == direct.total_cycles
+
+    def test_engine_job_runs_forced_dataflow(self):
+        job = _layer_job(design=ENGINE_DESIGN, dataflow=Dataflow.IP_M)
+        result = execute_job(job)
+        assert result.dataflow is Dataflow.IP_M
+        assert result.total_cycles > 0
+
+    def test_cacheless_runner_disables_nested_trial_cache(self):
+        """A ``cache=None`` sweep must not consume persisted mapper trials."""
+        from repro.runtime import build_design
+
+        flexagon = build_design("Flexagon", default_config(), trial_cache=None)
+        assert flexagon.mapper.runner.cache is None
+
+    def test_custom_cache_dir_reaches_nested_trials(self, tmp_path):
+        """Mapper trials land in the sweep's own cache, not the env default."""
+        from repro.runtime import build_design, trial_runner
+
+        flexagon = build_design(
+            "Flexagon", default_config(), trial_cache=str(tmp_path)
+        )
+        assert str(flexagon.mapper.runner.cache.directory) == str(tmp_path)
+        live = ResultCache(tmp_path)
+        in_process = build_design("Flexagon", default_config(), trial_cache=live)
+        assert in_process.mapper.runner.cache is live
+        shared = build_design("Flexagon", default_config())
+        assert shared.mapper.runner is trial_runner()
+
+    def test_cpu_jobs_are_cached_independently_of_the_config(self):
+        """One CPU baseline result serves every accelerator design point."""
+        small = _layer_job(design=CPU_DESIGN, config=default_config(num_multipliers=16))
+        large = _layer_job(design=CPU_DESIGN, config=default_config(num_multipliers=64))
+        assert small.key() == large.key()
+        assert (
+            _layer_job(design="SIGMA-like", config=default_config(num_multipliers=16)).key()
+            != _layer_job(design="SIGMA-like", config=default_config(num_multipliers=64)).key()
+        )
+
+    def test_hermetic_sweep_never_touches_the_default_cache(self, tmp_path):
+        """End to end: a custom-cache run writes trials only under its dir."""
+        own = tmp_path / "own"
+        runner = BatchRunner(parallel=False, cache=ResultCache(own))
+        runner.run_one(_layer_job(design="Flexagon"))
+        assert ResultCache(own).entry_count() > 1  # job + its trials
+
+
+# ----------------------------------------------------------------------
+# Parallel vs serial equivalence (acceptance criterion)
+# ----------------------------------------------------------------------
+def _end_to_end_fingerprint(results) -> dict:
+    fingerprint: dict[str, object] = {"cpu": dict(results.cpu_cycles)}
+    for model in results.model_names():
+        for design, record in results.accelerator_results[model].items():
+            fingerprint[f"{model}/{design}"] = [
+                (
+                    layer.dataflow.name,
+                    layer.cycles.stationary,
+                    layer.cycles.streaming,
+                    layer.cycles.merging,
+                    layer.traffic.onchip_bytes,
+                    layer.traffic.offchip_bytes,
+                )
+                for layer in record.layer_results
+            ]
+    return fingerprint
+
+
+class TestParallelSerialEquivalence:
+    def test_end_to_end_bit_identical(self):
+        serial = run_end_to_end(SETTINGS, runner=BatchRunner(parallel=False, cache=None))
+        parallel = run_end_to_end(
+            SETTINGS, runner=BatchRunner(parallel=True, max_workers=4, cache=None)
+        )
+        assert _end_to_end_fingerprint(serial) == _end_to_end_fingerprint(parallel)
+
+    def test_layerwise_bit_identical(self):
+        serial = run_layerwise_comparison(
+            SETTINGS, runner=BatchRunner(parallel=False, cache=None)
+        )
+        parallel = run_layerwise_comparison(
+            SETTINGS, runner=BatchRunner(parallel=True, max_workers=4, cache=None)
+        )
+        for layer in serial.layer_names():
+            for design in DESIGN_ORDER:
+                assert (
+                    serial.result(layer, design).total_cycles
+                    == parallel.result(layer, design).total_cycles
+                ), (layer, design)
+
+
+# ----------------------------------------------------------------------
+# Warm-cache acceptance: a second sweep simulates nothing
+# ----------------------------------------------------------------------
+class TestWarmCacheEndToEnd:
+    def test_second_run_executes_zero_jobs(self, tmp_path):
+        cold = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        first = run_end_to_end(SETTINGS, runner=cold)
+        assert cold.stats.executed > 0
+        assert cold.stats.cache_hits == 0
+
+        warm = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        second = run_end_to_end(SETTINGS, runner=warm)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_misses == 0
+        assert warm.stats.cache_hits == warm.stats.submitted > 0
+        assert _end_to_end_fingerprint(first) == _end_to_end_fingerprint(second)
+
+    def test_parallel_writers_fill_a_shared_cache(self, tmp_path):
+        cold = BatchRunner(parallel=True, max_workers=4, cache=ResultCache(tmp_path))
+        run_layerwise_comparison(SETTINGS, runner=cold)
+        warm = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        run_layerwise_comparison(SETTINGS, runner=warm)
+        assert warm.stats.executed == 0

@@ -5,45 +5,51 @@ the smallest cache and shows the crossover the paper's Section 5.2 explains:
 the Gustavson design's miss rate (and hence runtime) improves sharply once
 the streaming matrix fits, while the Outer-Product design — which reads the
 streaming matrix exactly once — is largely insensitive.
+
+Each capacity point is a declarative :class:`repro.api.SweepSpec` (a design
+grid plus configuration overrides and a pinned operand scale), so the jobs
+run through the session's batched runner and repeat invocations are answered
+from the persistent result cache.
 """
 
 from conftest import run_once
 
-from repro.accelerators import GammaLikeAccelerator, SparchLikeAccelerator
-from repro.arch.config import default_config
+from repro.api import SweepSpec
 from repro.metrics import format_table
-from repro.workloads import get_representative_layer, materialize_layer
 
 CACHE_SIZES_KIB = (8, 32, 128, 512)
 
 
-def _sweep():
-    spec = get_representative_layer("R6")
-    a, b = materialize_layer(spec, scale=0.2)
+def _sweep(session):
     rows = []
     for size_kib in CACHE_SIZES_KIB:
-        config = default_config(
-            num_multipliers=16,
-            distribution_bandwidth=4,
-            reduction_bandwidth=4,
-            str_cache_bytes=size_kib * 1024,
+        spec = SweepSpec(
+            layers="R6",
+            designs=("GAMMA-like", "SpArch-like"),
+            scale=0.2,
+            config_overrides={
+                "num_multipliers": 16,
+                "distribution_bandwidth": 4,
+                "reduction_bandwidth": 4,
+                "str_cache_bytes": size_kib * 1024,
+            },
         )
-        gamma = GammaLikeAccelerator(config).run_layer(a, b)
-        sparch = SparchLikeAccelerator(config).run_layer(a, b)
+        by_design = {row["design"]: row for row in session.sweep(spec).rows}
+        gamma, sparch = by_design["GAMMA-like"], by_design["SpArch-like"]
         rows.append(
             {
                 "cache_kib": size_kib,
-                "gamma_cycles": gamma.total_cycles,
-                "gamma_miss_pct": 100 * gamma.str_cache_miss_rate,
-                "sparch_cycles": sparch.total_cycles,
-                "sparch_miss_pct": 100 * sparch.str_cache_miss_rate,
+                "gamma_cycles": gamma["cycles"],
+                "gamma_miss_pct": gamma["miss_rate_pct"],
+                "sparch_cycles": sparch["cycles"],
+                "sparch_miss_pct": sparch["miss_rate_pct"],
             }
         )
     return rows
 
 
-def bench_ablation_str_cache_size(benchmark, settings):
-    rows = run_once(benchmark, _sweep)
+def bench_ablation_str_cache_size(benchmark, session):
+    rows = run_once(benchmark, _sweep, session)
     print()
     print(format_table(rows, title="Ablation — STR cache capacity sweep (layer R6)"))
 

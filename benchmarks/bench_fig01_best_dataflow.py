@@ -10,15 +10,12 @@ from collections import Counter
 
 from conftest import run_once
 
-from repro.experiments import (
-    best_dataflow_per_layer_rows,
-    run_end_to_end,
-)
+from repro.experiments import best_dataflow_per_layer_rows
 from repro.metrics import format_table
 
 
-def bench_fig01_best_dataflow_per_layer(benchmark, settings):
-    results = run_once(benchmark, run_end_to_end, settings)
+def bench_fig01_best_dataflow_per_layer(benchmark, session):
+    results = run_once(benchmark, session.end_to_end)
     rows = best_dataflow_per_layer_rows(results)
 
     summary = []

@@ -8,17 +8,16 @@ never beaten by any fixed-dataflow design.
 
 from conftest import run_once
 
-from repro.experiments import end_to_end_speedup_rows, run_end_to_end
 from repro.metrics import format_table
 
 FIXED_DESIGNS = ("SIGMA-like", "SpArch-like", "GAMMA-like")
 
 
-def bench_fig12_end_to_end_speedup(benchmark, settings):
-    results = run_once(benchmark, run_end_to_end, settings)
-    rows = end_to_end_speedup_rows(results)
+def bench_fig12_end_to_end_speedup(benchmark, session):
+    figure = run_once(benchmark, session.figure, "fig12")
+    rows = figure.rows
     print()
-    print(format_table(rows, title="Fig. 12 — speed-up over CPU MKL (higher is better)"))
+    print(format_table(rows, title=figure.title + " (higher is better)"))
 
     per_model = [row for row in rows if row["model"] != "GEOMEAN"]
     geomean = next(row for row in rows if row["model"] == "GEOMEAN")

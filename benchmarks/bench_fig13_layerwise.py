@@ -9,22 +9,21 @@ and Flexagon always performs within a small tolerance of the best design.
 
 from conftest import run_once
 
-from repro.experiments import layerwise_speedup_rows, run_layerwise_comparison
 from repro.metrics import format_table
 
 IP_FRIENDLY = ("SQ5", "SQ11", "R4")
 GUST_FRIENDLY = ("MB215", "V7", "A2")
 
 
-def bench_fig13_layerwise_speedup(benchmark, settings):
-    results = run_once(benchmark, run_layerwise_comparison, settings)
-    rows = layerwise_speedup_rows(results)
+def bench_fig13_layerwise_speedup(benchmark, session):
+    figure = run_once(benchmark, session.figure, "fig13")
+    rows = figure.rows
     print()
     print(format_table(
         rows,
         columns=["layer", "design", "dataflow", "speedup_vs_sigma",
                  "mult_fraction", "merge_fraction"],
-        title="Fig. 13 — layer-wise speed-up vs SIGMA-like",
+        title=figure.title,
     ))
 
     by_layer = {}

@@ -2,16 +2,15 @@
 
 from conftest import run_once
 
-from repro.experiments import onchip_traffic_rows, run_layerwise_comparison
 from repro.metrics import format_table
 
 
-def bench_fig14_onchip_traffic(benchmark, settings):
-    results = run_once(benchmark, run_layerwise_comparison, settings)
-    rows = onchip_traffic_rows(results)
+def bench_fig14_onchip_traffic(benchmark, session):
+    figure = run_once(benchmark, session.figure, "fig14")
+    rows = figure.rows
     print()
     print(format_table(
-        rows, title="Fig. 14 — on-chip memory traffic (MB)",
+        rows, title=figure.title,
         columns=["layer", "design", "sta_mb", "str_mb", "psum_mb", "total_mb"],
     ))
 

@@ -2,7 +2,6 @@
 
 from conftest import run_once
 
-from repro.experiments import miss_rate_rows, run_layerwise_comparison
 from repro.metrics import format_table
 
 #: Layers whose streaming operand is far larger than the cache (the paper's
@@ -12,12 +11,12 @@ LARGE_B_LAYERS = ("R6", "S-R3", "V0")
 SMALL_B_LAYERS = ("MB215", "V7", "A2")
 
 
-def bench_fig15_str_cache_miss_rate(benchmark, settings):
-    results = run_once(benchmark, run_layerwise_comparison, settings)
-    rows = miss_rate_rows(results)
+def bench_fig15_str_cache_miss_rate(benchmark, session):
+    figure = run_once(benchmark, session.figure, "fig15")
+    rows = figure.rows
     print()
     print(format_table(
-        rows, title="Fig. 15 — STR cache miss rate (%)",
+        rows, title=figure.title,
         columns=["layer", "design", "miss_rate_pct", "accesses"],
     ))
 

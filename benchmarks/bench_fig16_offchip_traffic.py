@@ -2,18 +2,17 @@
 
 from conftest import run_once
 
-from repro.experiments import offchip_traffic_rows, run_layerwise_comparison
 from repro.metrics import format_table
 
 LARGE_B_LAYERS = ("R6", "S-R3", "V0")
 
 
-def bench_fig16_offchip_traffic(benchmark, settings):
-    results = run_once(benchmark, run_layerwise_comparison, settings)
-    rows = offchip_traffic_rows(results)
+def bench_fig16_offchip_traffic(benchmark, session):
+    figure = run_once(benchmark, session.figure, "fig16")
+    rows = figure.rows
     print()
     print(format_table(
-        rows, title="Fig. 16 — off-chip traffic (KB)",
+        rows, title=figure.title,
         columns=["layer", "design", "offchip_kb", "total_dram_kb"],
     ))
 

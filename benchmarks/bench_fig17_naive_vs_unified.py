@@ -3,14 +3,14 @@
 import pytest
 from conftest import run_once
 
-from repro.experiments import naive_comparison_rows
 from repro.metrics import format_table
 
 
-def bench_fig17_naive_vs_unified(benchmark, settings):
-    rows = run_once(benchmark, naive_comparison_rows, settings.config)
+def bench_fig17_naive_vs_unified(benchmark, session):
+    figure = run_once(benchmark, session.figure, "fig17")
+    rows = figure.rows
     print()
-    print(format_table(rows, title="Fig. 17 — Flexagon vs naive triple-network design (mm2)"))
+    print(format_table(rows, title=figure.title))
 
     by_design = {row["design"]: row for row in rows}
     flexagon = by_design["Flexagon"]

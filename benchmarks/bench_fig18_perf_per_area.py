@@ -2,17 +2,14 @@
 
 from conftest import run_once
 
-from repro.experiments import performance_per_area_rows, run_end_to_end
 from repro.metrics import format_table
 
 
-def bench_fig18_performance_per_area(benchmark, settings):
-    results = run_once(benchmark, run_end_to_end, settings)
-    rows = performance_per_area_rows(results)
+def bench_fig18_performance_per_area(benchmark, session):
+    figure = run_once(benchmark, session.figure, "fig18")
+    rows = figure.rows
     print()
-    print(format_table(
-        rows, title="Fig. 18 — performance/area normalised to SIGMA-like",
-    ))
+    print(format_table(rows, title=figure.title))
 
     geomean = next(row for row in rows if row["model"] == "GEOMEAN")
     per_model = [row for row in rows if row["model"] != "GEOMEAN"]

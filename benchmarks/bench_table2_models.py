@@ -8,16 +8,15 @@ sampled, scaled chain).
 
 from conftest import run_once
 
-from repro.experiments import model_statistics_rows, run_end_to_end
 from repro.metrics import format_table
 from repro.workloads import MODEL_REGISTRY
 
 
-def bench_table2_model_statistics(benchmark, settings):
-    results = run_once(benchmark, run_end_to_end, settings)
-    rows = model_statistics_rows(results)
+def bench_table2_model_statistics(benchmark, session):
+    figure = run_once(benchmark, session.figure, "table2")
+    rows = figure.rows
     print()
-    print(format_table(rows, title="Table 2 — DNN models used in this work"))
+    print(format_table(rows, title=figure.title))
 
     assert len(rows) == 8
     expected_layers = {"A": 7, "SQ": 26, "V": 8, "R": 54, "S-R": 37, "S-M": 29,

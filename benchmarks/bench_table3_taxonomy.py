@@ -7,15 +7,16 @@ formats and intersection/merging style for each dataflow, as encoded in
 
 from conftest import run_once
 
-from repro.dataflows import DATAFLOW_PROPERTIES, Dataflow, taxonomy_table
+from repro.dataflows import DATAFLOW_PROPERTIES, Dataflow
 from repro.metrics import format_table
 from repro.sparse import Layout
 
 
-def bench_table3_dataflow_taxonomy(benchmark, settings):
-    rows = run_once(benchmark, taxonomy_table)
+def bench_table3_dataflow_taxonomy(benchmark, session):
+    figure = run_once(benchmark, session.figure, "table3")
+    rows = figure.rows
     print()
-    print(format_table(rows, title="Table 3 — dataflow taxonomy"))
+    print(format_table(rows, title=figure.title))
 
     assert len(rows) == 6
     # Spot-check the paper's rows.

@@ -3,12 +3,11 @@
 from conftest import run_once
 
 from repro.metrics import format_table
-from repro.workloads.layers import layer_summary
-from repro.workloads.representative import REPRESENTATIVE_LAYERS, TABLE6_COMPRESSED_KIB
+from repro.workloads.representative import TABLE6_COMPRESSED_KIB
 
 
-def bench_table6_representative_layers(benchmark, settings):
-    rows = run_once(benchmark, lambda: [layer_summary(s) for s in REPRESENTATIVE_LAYERS])
+def bench_table6_representative_layers(benchmark, session):
+    rows = run_once(benchmark, session.figure, "table6").rows
     for row in rows:
         paper = TABLE6_COMPRESSED_KIB[row["layer"]]
         row["paper csA/csB/csC (KiB)"] = f"{paper[0]}/{paper[1]}/{paper[2]}"

@@ -3,14 +3,14 @@
 import pytest
 from conftest import run_once
 
-from repro.experiments import area_power_rows
 from repro.metrics import format_table
 
 
-def bench_table8_area_power(benchmark, settings):
-    rows = run_once(benchmark, area_power_rows, settings.config)
+def bench_table8_area_power(benchmark, session):
+    figure = run_once(benchmark, session.figure, "table8")
+    rows = figure.rows
     print()
-    print(format_table(rows, title="Table 8 — area (mm2) and power (mW) breakdown"))
+    print(format_table(rows, title=figure.title))
 
     by_design = {row["design"]: row for row in rows}
     # The paper's headline overheads: Flexagon is ~25% / ~3% / ~14% larger than

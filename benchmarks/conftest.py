@@ -1,13 +1,13 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark uses the same :class:`ExperimentSettings`, and every
-simulation sweep funnels through the shared :mod:`repro.runtime` batch
-runner: the expensive layer-wise and end-to-end grids are executed once per
-pytest session (fanned out over a process pool), persisted in the runtime's
-on-disk result cache, and the individual benchmark files only slice and
-print their figure's rows.  A second benchmark invocation with the same
-settings therefore re-simulates nothing — it is answered entirely from the
-cache (run ``python -m repro.runtime stats`` to inspect it).
+Every benchmark drives the public :class:`repro.api.Session` facade over the
+same :class:`ExperimentSettings`: the expensive layer-wise and end-to-end
+grids are executed once per pytest session (fanned out over a process pool),
+persisted in the runtime's on-disk result cache, and the individual benchmark
+files only ask the session for their figure's rows.  A second benchmark
+invocation with the same settings therefore re-simulates nothing — it is
+answered entirely from the cache (run ``python -m repro cache stats`` to
+inspect it).
 
 Environment knobs:
 
@@ -28,6 +28,7 @@ import os
 
 import pytest
 
+from repro.api import shared_session
 from repro.experiments import default_settings
 from repro.runtime import default_runner
 
@@ -44,6 +45,17 @@ def settings():
     return default_settings(
         max_dense_macs=_BENCH_MAC_BUDGET, max_layers_per_model=_BENCH_MAX_LAYERS
     )
+
+
+@pytest.fixture(scope="session")
+def session(settings):
+    """The shared :class:`repro.api.Session` every benchmark submits through.
+
+    Backed by the process-wide runner, so the end-to-end and layer-wise grids
+    run (at most) once per pytest session and each figure benchmark only
+    slices rows out of the memoized results.
+    """
+    return shared_session(settings)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -7,16 +7,15 @@ Run with::
 The script builds a random sparse matrix pair, executes the six SpMSpM
 dataflows functionally (checking them against a reference SpGEMM), then
 simulates the same layer on the Flexagon accelerator and the three
-fixed-dataflow baselines — submitted as one job batch through the
-:mod:`repro.runtime` runner, so re-running the script answers the
-simulations from the persistent result cache — printing cycles, traffic and
-the dataflow the mapper picked.
+fixed-dataflow baselines through the public :class:`repro.api.Session`
+facade — one job batch through the batched runtime, so re-running the
+script answers the simulations from the persistent result cache — printing
+cycles, traffic and the dataflow the mapper picked.
 """
 
-from repro import Dataflow, random_sparse, run_dataflow
-from repro.arch.config import default_config
+from repro import Dataflow, Session, random_sparse, run_dataflow
 from repro.metrics import format_table
-from repro.runtime import DESIGN_ORDER, SimJob, default_runner
+from repro.runtime import DESIGN_ORDER
 from repro.sparse import matrices_allclose, spgemm_reference
 
 
@@ -50,17 +49,13 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 2. The same layer on the simulated accelerators.
     # ------------------------------------------------------------------
-    # The runtime's design registry configures Flexagon with the oracle
+    # The session's design registry configures Flexagon with the oracle
     # mapper (the same policy the experiment harness evaluates), so its
     # choice here is the proven-best dataflow rather than the heuristic's.
-    config = default_config()
-    runner = default_runner()
-    jobs = [
-        SimJob(design=design, config=config, a=a, b=b, layer_name="quickstart")
-        for design in DESIGN_ORDER
-    ]
+    session = Session()
+    sims = session.simulate(a, b, layer_name="quickstart")
     rows = []
-    for design, sim in zip(DESIGN_ORDER, runner.run(jobs)):
+    for design, sim in zip(DESIGN_ORDER, sims):
         rows.append(
             {
                 "design": design,

@@ -6,18 +6,20 @@ Run with::
 
 where ``MODEL`` is one of the Table 2 short names (A, SQ, V, R, S-R, S-M, DB,
 MB; default SQ) and ``MAX_LAYERS`` caps how many layers are simulated
-(default 8).  The script fans the (design, layer) grid out through the
-:mod:`repro.runtime` batch runner — in parallel on a cold cache, answered
-from the persistent result cache on repeat runs — and reports the per-layer
-dataflow choices and the end-to-end comparison — a miniature version of the
-paper's Fig. 12.
+(default 8).  The script expresses the run as one declarative
+:class:`repro.api.SweepSpec` — (model x designs x CPU baseline) — and hands
+it to a :class:`repro.api.Session`: the grid fans out through the batched
+runtime in parallel on a cold cache and is answered from the persistent
+result cache on repeat runs.  It then reports the per-layer dataflow choices
+and the end-to-end comparison — a miniature version of the paper's Fig. 12.
 """
 
 import sys
 
+from repro.api import Session, SweepSpec
 from repro.experiments import default_settings
-from repro.metrics import ModelSimResult, format_table
-from repro.runtime import CPU_DESIGN, DESIGN_ORDER, SimJob, default_runner
+from repro.metrics import format_table
+from repro.runtime import CPU_DESIGN, DESIGN_ORDER
 from repro.workloads import get_model
 
 
@@ -26,46 +28,40 @@ def main() -> None:
     max_layers = int(sys.argv[2]) if len(sys.argv) > 2 else 8
 
     model = get_model(model_name)
-    settings = default_settings(max_dense_macs=2e6, max_layers_per_model=max_layers)
-    layers = list(model.layers)[:max_layers]
-    scale = min(settings.layer_scale(spec) for spec in layers)
-    config = settings.scaled_config(scale)
-    print(f"{model.name}: simulating {len(layers)}/{model.num_layers} layers "
-          f"at scale {scale:.3f}")
+    session = Session(default_settings(max_dense_macs=2e6))
+    spec = SweepSpec(
+        models=model_name,
+        designs=DESIGN_ORDER + (CPU_DESIGN,),
+        max_layers_per_model=max_layers,
+    )
+    sweep = session.sweep(spec)
+    layers = {row["layer"] for row in sweep.rows}
+    print(f"{model.name}: simulated {len(layers)}/{model.num_layers} layers")
 
-    runner = default_runner()
-    jobs = [
-        SimJob(design=design, config=config, spec=spec, scale=scale,
-               layer_name=spec.name)
+    by_design = {
+        design: [row for row in sweep.rows if row["design"] == design]
         for design in DESIGN_ORDER + (CPU_DESIGN,)
-        for spec in layers
-    ]
-    grid = iter(runner.run(jobs))
-    per_design = {}
-    for design in DESIGN_ORDER + (CPU_DESIGN,):
-        per_design[design] = [next(grid) for _ in layers]
-
-    cpu_seconds = sum(layer.seconds for layer in per_design[CPU_DESIGN])
+    }
+    cpu_seconds = sum(row["seconds"] for row in by_design[CPU_DESIGN])
 
     rows = []
-    flexagon_result = None
     for design in DESIGN_ORDER:
-        result = ModelSimResult(accelerator=design, model_name=model.name,
-                                layer_results=per_design[design])
-        if design == "Flexagon":
-            flexagon_result = result
-        seconds = config.cycles_to_seconds(result.total_cycles)
+        design_rows = by_design[design]
+        cycles = sum(row["cycles"] for row in design_rows)
+        seconds = sum(row["seconds"] for row in design_rows)
+        onchip = sum(row["onchip_bytes"] for row in design_rows)
+        histogram: dict[str, int] = {}
+        for row in design_rows:
+            family = row["dataflow"].split("_")[0]
+            histogram[family] = histogram.get(family, 0) + 1
         rows.append(
             {
                 "design": design,
-                "cycles": round(result.total_cycles),
+                "cycles": round(cycles),
                 "speed-up vs CPU": round(cpu_seconds / seconds, 2),
-                "on-chip traffic (MB)": round(result.total_traffic.onchip_bytes / 1e6, 2),
+                "on-chip traffic (MB)": round(onchip / 1e6, 2),
                 "dataflows used": ", ".join(
-                    f"{d.dataflow_class.value}x{count}"
-                    for d, count in sorted(
-                        result.dataflow_histogram.items(), key=lambda kv: kv[0].name
-                    )
+                    f"{family}x{count}" for family, count in sorted(histogram.items())
                 ),
             }
         )
@@ -74,12 +70,12 @@ def main() -> None:
 
     per_layer = [
         {
-            "layer": layer.layer_name,
-            "Flexagon dataflow": layer.dataflow.informal_name,
-            "cycles": round(layer.total_cycles),
-            "miss rate (%)": round(100 * layer.str_cache_miss_rate, 2),
+            "layer": row["layer"],
+            "Flexagon dataflow": row["dataflow"],
+            "cycles": round(row["cycles"]),
+            "miss rate (%)": round(row["miss_rate_pct"], 2),
         }
-        for layer in flexagon_result.layer_results
+        for row in by_design["Flexagon"]
     ]
     print(format_table(per_layer, title="Flexagon's per-layer dataflow choices"))
 

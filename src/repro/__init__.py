@@ -7,6 +7,9 @@ The package reproduces, in pure Python, the system described in
 
 Public API layers (see DESIGN.md for the full inventory):
 
+* :mod:`repro.api` — **the public facade**: :class:`Session`,
+  declarative :class:`SweepSpec`/:class:`FigureQuery` requests, typed
+  JSON-round-trippable responses, and the ``python -m repro`` CLI.
 * :mod:`repro.sparse` — compressed formats (CSR/CSC), fibers, generators.
 * :mod:`repro.dataflows` — the six SpMSpM dataflows and their taxonomy.
 * :mod:`repro.arch` — cycle-accounting hardware components (MRN, caches,
@@ -20,7 +23,7 @@ Public API layers (see DESIGN.md for the full inventory):
 * :mod:`repro.metrics` — result records and report formatting.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.sparse import (
     CompressedMatrix,
@@ -31,6 +34,7 @@ from repro.sparse import (
     random_sparse,
 )
 from repro.dataflows import Dataflow, DataflowClass, run_dataflow
+from repro.api import FigureQuery, Session, SweepSpec
 
 __all__ = [
     "__version__",
@@ -43,4 +47,7 @@ __all__ = [
     "Dataflow",
     "DataflowClass",
     "run_dataflow",
+    "FigureQuery",
+    "Session",
+    "SweepSpec",
 ]

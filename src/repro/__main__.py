@@ -1,0 +1,8 @@
+"""``python -m repro`` — see :mod:`repro.cli` for the subcommands."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

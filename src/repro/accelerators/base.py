@@ -63,12 +63,23 @@ class Accelerator(abc.ABC):
         """Simulate one SpMSpM layer on this design.
 
         When ``dataflow`` is omitted the design's own selection policy is
-        used; when it is given it must be one of the supported dataflows.
+        used.  The chosen dataflow is validated against
+        :attr:`supported_dataflows` in *both* cases: a forced dataflow guards
+        the caller, and a policy choice guards against a misconfigured
+        mapper (e.g. a custom mapper handed to Flexagon that returns a
+        dataflow the design cannot configure).
         """
-        chosen = dataflow or self.choose_dataflow(a, b)
+        if dataflow is not None:
+            chosen, source = dataflow, "forced by the caller"
+        else:
+            chosen = self.choose_dataflow(a, b)
+            source = f"chosen by {type(self).__name__}.choose_dataflow"
         if chosen not in self.supported_dataflows:
+            label = (
+                chosen.informal_name if isinstance(chosen, Dataflow) else repr(chosen)
+            )
             raise ValueError(
-                f"{self.name} does not support the {chosen.informal_name} dataflow"
+                f"{self.name} does not support the {label} dataflow ({source})"
             )
         return self.engine.run_layer(
             chosen,

@@ -1,0 +1,51 @@
+"""The public API facade of the Flexagon reproduction.
+
+Everything a consumer needs funnels through four concepts:
+
+* :class:`Session` — the single object users construct; owns the experiment
+  settings, the batched runner and the persistent result cache.
+* :class:`SweepSpec` / :class:`FigureQuery` — declarative, hashable request
+  objects that compile down to :class:`~repro.runtime.SimJob` grids and are
+  answered straight from the cache when it is warm.
+* :class:`FigureResult` / :class:`SweepResult` — typed, JSON-round-trippable
+  response records (versioned schema) that can cross process and service
+  boundaries.
+* ``python -m repro`` — the CLI over the same facade (``figure``, ``sweep``,
+  ``cache stats|clear|prune``, ``list``).
+
+Quick tour::
+
+    from repro.api import FigureQuery, Session, SweepSpec
+
+    session = Session()
+    print(session.figure(FigureQuery("fig12")).to_json())
+    sweep = session.sweep(SweepSpec(models="SQ", designs=("Flexagon",)))
+"""
+
+from repro.api.figures import FIGURES, FigureDef, figure_ids, get_figure
+from repro.api.requests import (
+    SWEEPABLE_DESIGNS,
+    FigureQuery,
+    SweepSpec,
+    normalize_figure_id,
+)
+from repro.api.responses import FigureResult, SweepResult, jsonify_rows, sweep_row
+from repro.api.session import Session, default_session, shared_session
+
+__all__ = [
+    "FIGURES",
+    "FigureDef",
+    "figure_ids",
+    "get_figure",
+    "SWEEPABLE_DESIGNS",
+    "FigureQuery",
+    "SweepSpec",
+    "normalize_figure_id",
+    "FigureResult",
+    "SweepResult",
+    "jsonify_rows",
+    "sweep_row",
+    "Session",
+    "default_session",
+    "shared_session",
+]

@@ -1,0 +1,106 @@
+"""Registry of the reproduced figures and tables a session can answer.
+
+Every figure/table of the paper's evaluation is declared here as a
+:class:`FigureDef`: which shared experiment it needs (the end-to-end grid,
+the layer-wise grid, the area model, or nothing at all) and the row maker
+that slices that experiment's results into the figure's rows.  The
+:class:`~repro.api.session.Session` facade resolves a
+:class:`~repro.api.requests.FigureQuery` against this registry, runs (or
+cache-loads) the required experiment once, and wraps the rows in a
+:class:`~repro.api.responses.FigureResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dataflows import taxonomy_table, transition_table
+from repro.experiments.area import area_power_rows, naive_comparison_rows
+from repro.experiments.end_to_end import (
+    best_dataflow_per_layer_rows,
+    end_to_end_speedup_rows,
+    model_statistics_rows,
+    performance_per_area_rows,
+)
+from repro.experiments.layerwise import (
+    layerwise_speedup_rows,
+    miss_rate_rows,
+    offchip_traffic_rows,
+    onchip_traffic_rows,
+)
+from repro.workloads.layers import layer_summary
+from repro.workloads.representative import REPRESENTATIVE_LAYERS
+
+
+@dataclass(frozen=True)
+class FigureDef:
+    """One entry of the figure registry."""
+
+    #: Canonical identifier (e.g. ``"fig12"`` — see ``normalize_figure_id``).
+    figure: str
+    #: Human-readable title printed above tables.
+    title: str
+    #: Which shared experiment the rows are sliced from: ``"end_to_end"``,
+    #: ``"layerwise"``, ``"area"`` (needs only the accelerator config) or
+    #: ``"static"`` (pure taxonomy/registry data, no simulation at all).
+    kind: str
+    #: Row maker; its argument depends on ``kind`` (results object, config,
+    #: or nothing).
+    rows: Callable
+
+
+def _table6_rows():
+    return [layer_summary(spec) for spec in REPRESENTATIVE_LAYERS]
+
+
+def _table4_rows():
+    return transition_table().as_rows()
+
+
+_DEFINITIONS = (
+    FigureDef("fig1", "Fig. 1 — best dataflow per layer",
+              "end_to_end", best_dataflow_per_layer_rows),
+    FigureDef("fig12", "Fig. 12 — end-to-end speed-up over CPU MKL",
+              "end_to_end", end_to_end_speedup_rows),
+    FigureDef("fig13", "Fig. 13 — layer-wise speed-up vs SIGMA-like",
+              "layerwise", layerwise_speedup_rows),
+    FigureDef("fig14", "Fig. 14 — on-chip memory traffic (MB)",
+              "layerwise", onchip_traffic_rows),
+    FigureDef("fig15", "Fig. 15 — STR cache miss rate (%)",
+              "layerwise", miss_rate_rows),
+    FigureDef("fig16", "Fig. 16 — off-chip traffic (KB)",
+              "layerwise", offchip_traffic_rows),
+    FigureDef("fig17", "Fig. 17 — Flexagon vs naive triple-network design (mm2)",
+              "area", naive_comparison_rows),
+    FigureDef("fig18", "Fig. 18 — performance/area normalised to SIGMA-like",
+              "end_to_end", performance_per_area_rows),
+    FigureDef("table2", "Table 2 — DNN models used in this work",
+              "end_to_end", model_statistics_rows),
+    FigureDef("table3", "Table 3 — dataflow taxonomy",
+              "static", taxonomy_table),
+    FigureDef("table4", "Table 4 — transitions without explicit conversion",
+              "static", _table4_rows),
+    FigureDef("table6", "Table 6 — representative DNN layers",
+              "static", _table6_rows),
+    FigureDef("table8", "Table 8 — area (mm2) and power (mW) breakdown",
+              "area", area_power_rows),
+)
+
+#: Canonical figure id -> definition, in paper order.
+FIGURES: dict[str, FigureDef] = {definition.figure: definition for definition in _DEFINITIONS}
+
+
+def figure_ids() -> list[str]:
+    """Every answerable figure/table identifier, in paper order."""
+    return list(FIGURES)
+
+
+def get_figure(figure: str) -> FigureDef:
+    """Look one definition up by canonical id (raises ``KeyError`` with help)."""
+    try:
+        return FIGURES[figure]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; known figures: {', '.join(FIGURES)}"
+        ) from None

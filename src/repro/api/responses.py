@@ -1,0 +1,192 @@
+"""Typed, JSON-round-trippable response records of the public API.
+
+Every answer a :class:`~repro.api.session.Session` produces is one of these
+records: plain data, stamped with the result-schema version, serializable
+with ``to_json`` and reconstructible with ``from_json``.  That makes the
+responses safe to persist, diff byte-for-byte (the acceptance contract of
+the ``python -m repro figure`` CLI) and ship across process or service
+boundaries — the groundwork the ROADMAP's serving front-end and remote
+executors plug into.
+
+Rows are normalised to JSON-safe values on construction (enums to their
+string values, numpy scalars to Python numbers), so ``to_json`` can never
+fail on a row a harness row-maker produced.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.accelerators.cpu import CpuRunResult
+from repro.metrics.results import (
+    RESULT_SCHEMA_VERSION,
+    LayerSimResult,
+    Row,
+    RowValue,
+    check_record_schema,
+)
+
+
+def _jsonify_value(value: object) -> RowValue:
+    """Coerce one row value to a strictly-JSON-safe Python scalar."""
+    if isinstance(value, enum.Enum):
+        inner = value.value
+        return inner if isinstance(inner, (str, int, float)) else value.name
+    item = getattr(value, "item", None)
+    if not isinstance(value, (bool, int, float, str)) and value is not None:
+        if callable(item):  # numpy scalars
+            value = item()
+        else:
+            return str(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        # json.dumps would emit the non-standard Infinity/NaN tokens, which
+        # strict JSON consumers reject; an unbounded or undefined quantity
+        # (e.g. a speed-up over a zero-cycle baseline) becomes null instead.
+        return None
+    return value
+
+
+def jsonify_rows(rows: Iterable[dict]) -> list[Row]:
+    """Normalise row dicts so they serialize (and round-trip) as strict JSON."""
+    return [{key: _jsonify_value(value) for key, value in row.items()} for row in rows]
+
+
+@dataclass
+class FigureResult:
+    """The rows of one reproduced figure or table, plus their provenance."""
+
+    #: Canonical figure identifier (e.g. ``"fig12"``).
+    figure: str
+    #: Human-readable title (printed above rendered tables).
+    title: str
+    #: The figure's rows (JSON-safe).
+    rows: list[Row]
+    #: Record form of the :class:`~repro.experiments.ExperimentSettings`
+    #: the rows were computed under.
+    settings: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "figure",
+            "figure": self.figure,
+            "title": self.title,
+            "settings": self.settings,
+            "rows": self.rows,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "FigureResult":
+        """Inverse of :meth:`to_record`."""
+        check_record_schema(record, "figure")
+        return cls(
+            figure=record["figure"],
+            title=record["title"],
+            rows=record["rows"],
+            settings=record["settings"],
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a canonical, strict JSON string (sorted keys, so two
+        runs of the same query over the same settings compare byte-for-byte;
+        ``allow_nan=False`` guards the wire contract)."""
+        return json.dumps(self.to_record(), sort_keys=True, indent=indent,
+                          allow_nan=False)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FigureResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_record(json.loads(payload))
+
+
+@dataclass
+class SweepResult:
+    """One row per simulated (workload, design) point of a sweep."""
+
+    #: Record form of the :class:`~repro.api.requests.SweepSpec` that ran.
+    spec: dict
+    #: One JSON-safe row per job, in grid order.
+    rows: list[Row]
+    #: Record form of the settings the sweep was compiled under.
+    settings: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "sweep",
+            "spec": self.spec,
+            "settings": self.settings,
+            "rows": self.rows,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SweepResult":
+        """Inverse of :meth:`to_record`."""
+        check_record_schema(record, "sweep")
+        return cls(spec=record["spec"], rows=record["rows"], settings=record["settings"])
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a canonical, strict JSON string."""
+        return json.dumps(self.to_record(), sort_keys=True, indent=indent,
+                          allow_nan=False)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SweepResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_record(json.loads(payload))
+
+
+def sweep_row(meta: dict[str, str], result: object, *, config=None) -> Row:
+    """Flatten one grid result into a labelled, JSON-safe sweep row.
+
+    Accelerator jobs yield :class:`~repro.metrics.results.LayerSimResult`
+    records; CPU-baseline jobs yield
+    :class:`~repro.accelerators.cpu.CpuRunResult` records with a reduced
+    column set (the software baseline has no dataflow or on-chip traffic).
+    ``config`` (the job's accelerator configuration) converts accelerator
+    cycles to wall-clock seconds so rows compare against the CPU baseline.
+    """
+    row: Row = {
+        "model": meta["model"],
+        "layer": meta["layer"],
+        "design": meta["design"],
+    }
+    if isinstance(result, CpuRunResult):
+        row.update(
+            {
+                "dataflow": None,
+                "cycles": float(result.cycles),
+                "seconds": float(result.seconds),
+            }
+        )
+        return row
+    assert isinstance(result, LayerSimResult), type(result)
+    row.update(
+        {
+            "dataflow": result.dataflow.name,
+            "cycles": float(result.total_cycles),
+            "seconds": (
+                float(config.cycles_to_seconds(result.total_cycles))
+                if config is not None
+                else None
+            ),
+            "stationary_cycles": float(result.cycles.stationary),
+            "streaming_cycles": float(result.cycles.streaming),
+            "merging_cycles": float(result.cycles.merging),
+            "sta_bytes": int(result.traffic.sta_bytes),
+            "str_bytes": int(result.traffic.str_bytes),
+            "psum_bytes": int(result.traffic.psum_bytes),
+            "onchip_bytes": int(result.traffic.onchip_bytes),
+            "offchip_bytes": int(result.traffic.offchip_bytes),
+            "psum_spill_bytes": int(result.dram.psum_spill_bytes) if result.dram else 0,
+            "miss_rate_pct": 100.0 * float(result.str_cache_miss_rate),
+            "str_cache_accesses": int(result.str_cache_accesses),
+        }
+    )
+    return row

@@ -1,0 +1,245 @@
+"""The :class:`Session` facade: one object over settings, runner and cache.
+
+A session owns the three pieces every consumer of the reproduction needs —
+an :class:`~repro.experiments.ExperimentSettings`, a
+:class:`~repro.runtime.BatchRunner` and (through the runner) a
+:class:`~repro.runtime.ResultCache` — and exposes the public operations:
+
+* :meth:`Session.figure` — answer a :class:`~repro.api.requests.FigureQuery`
+  (e.g. ``session.figure("fig12")``).  When the runtime cache is warm the
+  answer involves **zero** simulator executions.
+* :meth:`Session.sweep` — run a declarative
+  :class:`~repro.api.requests.SweepSpec` grid.
+* :meth:`Session.end_to_end` / :meth:`Session.layerwise` — the two shared
+  experiment grids behind the paper's figures, memoized per session.
+* :meth:`Session.simulate` — ad-hoc simulation of one explicit operand pair
+  across designs (the quickstart workflow).
+* :meth:`Session.cache_stats` / :meth:`Session.clear_cache` /
+  :meth:`Session.prune_cache` — result-cache maintenance.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.api.figures import FigureDef, figure_ids, get_figure
+from repro.api.requests import FigureQuery, SweepSpec
+from repro.api.responses import FigureResult, SweepResult, jsonify_rows, sweep_row
+from repro.arch.config import AcceleratorConfig
+from repro.experiments.end_to_end import (
+    EndToEndResults,
+    collate_end_to_end,
+    end_to_end_jobs,
+)
+from repro.experiments.layerwise import (
+    LayerwiseResults,
+    collate_layerwise,
+    layerwise_jobs,
+)
+from repro.experiments.settings import ExperimentSettings, default_settings
+from repro.metrics.results import LayerSimResult
+from repro.runtime import (
+    DESIGN_ORDER,
+    BatchRunner,
+    PruneReport,
+    ResultCache,
+    RunnerStats,
+    SimJob,
+    default_runner,
+)
+from repro.sparse.formats import CompressedMatrix
+
+#: Sentinel so ``cache=None`` can explicitly mean "run without a cache".
+_DEFAULT = object()
+
+
+class Session:
+    """Facade over the experiment settings, batch runner and result cache.
+
+    Construct one per logical unit of work::
+
+        from repro.api import Session, FigureQuery
+
+        session = Session()                       # env-configured runner+cache
+        fig12 = session.figure(FigureQuery("fig12"))
+        print(fig12.to_json())
+
+    ``runner`` wins when given; otherwise a :class:`BatchRunner` is built
+    from ``parallel`` / ``max_workers`` / ``cache`` (each defaulting to the
+    environment knobs documented in :mod:`repro.runtime.runner`).
+    """
+
+    def __init__(
+        self,
+        settings: ExperimentSettings | None = None,
+        *,
+        runner: BatchRunner | None = None,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+        cache: ResultCache | None | object = _DEFAULT,
+    ) -> None:
+        self.settings = settings or default_settings()
+        if runner is None:
+            kwargs: dict = {"parallel": parallel, "max_workers": max_workers}
+            if cache is not _DEFAULT:
+                kwargs["cache"] = cache
+            runner = BatchRunner(**kwargs)
+        elif parallel is not None or max_workers is not None or cache is not _DEFAULT:
+            raise ValueError("pass either a runner or runner knobs, not both")
+        self.runner = runner
+        self._end_to_end: EndToEndResults | None = None
+        self._layerwise: LayerwiseResults | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> ResultCache | None:
+        """The result cache the session's runner answers from (if any)."""
+        return self.runner.cache
+
+    @property
+    def stats(self) -> RunnerStats:
+        """Job counters accumulated by the session's runner."""
+        return self.runner.stats
+
+    def figures(self) -> list[str]:
+        """Identifiers of every figure/table :meth:`figure` can answer."""
+        return figure_ids()
+
+    # ------------------------------------------------------------------
+    # Raw job access (the escape hatch down to the runtime layer)
+    # ------------------------------------------------------------------
+    def run(self, jobs: list[SimJob]) -> list:
+        """Run a raw job grid through the session's runner."""
+        return self.runner.run(jobs)
+
+    def simulate(
+        self,
+        a: CompressedMatrix,
+        b: CompressedMatrix,
+        *,
+        designs: tuple[str, ...] = DESIGN_ORDER,
+        config: AcceleratorConfig | None = None,
+        layer_name: str = "",
+    ) -> list[LayerSimResult]:
+        """Simulate one explicit operand pair on each design, in order."""
+        config = config or self.settings.config
+        jobs = [
+            SimJob(design=design, config=config, a=a, b=b, layer_name=layer_name)
+            for design in designs
+        ]
+        return self.run(jobs)
+
+    # ------------------------------------------------------------------
+    # The shared experiment grids (memoized per session)
+    # ------------------------------------------------------------------
+    def end_to_end(self) -> EndToEndResults:
+        """The end-to-end grid (Figs. 1/12/18, Table 2), run at most once."""
+        if self._end_to_end is None:
+            jobs, configs, sampled_specs = end_to_end_jobs(self.settings)
+            results = self.runner.run(jobs)
+            self._end_to_end = collate_end_to_end(
+                self.settings, configs, sampled_specs, results
+            )
+        return self._end_to_end
+
+    def layerwise(self) -> LayerwiseResults:
+        """The layer-wise grid (Figs. 13-16), run at most once."""
+        if self._layerwise is None:
+            jobs, scales = layerwise_jobs(self.settings)
+            results = self.runner.run(jobs)
+            self._layerwise = collate_layerwise(self.settings, scales, results)
+        return self._layerwise
+
+    # ------------------------------------------------------------------
+    # Declarative requests
+    # ------------------------------------------------------------------
+    def figure(self, query: FigureQuery | str) -> FigureResult:
+        """Answer one figure/table query.
+
+        All simulation goes through the session's runner, so a warm result
+        cache answers the query without executing a single job — the
+        serving-from-cache behaviour of the ``python -m repro figure`` CLI.
+        """
+        if not isinstance(query, FigureQuery):
+            query = FigureQuery(query)
+        definition = get_figure(query.figure)
+        rows = self._figure_rows(definition)
+        return FigureResult(
+            figure=definition.figure,
+            title=definition.title,
+            rows=jsonify_rows(rows),
+            settings=self.settings.to_record(),
+        )
+
+    def _figure_rows(self, definition: FigureDef) -> list[dict]:
+        if definition.kind == "end_to_end":
+            return definition.rows(self.end_to_end())
+        if definition.kind == "layerwise":
+            return definition.rows(self.layerwise())
+        if definition.kind == "area":
+            return definition.rows(self.settings.config)
+        assert definition.kind == "static", definition.kind
+        return definition.rows()
+
+    def sweep(self, spec: SweepSpec) -> SweepResult:
+        """Run a declarative sweep grid and return its labelled rows."""
+        jobs, meta = spec.compile(self.settings)
+        results = self.runner.run(jobs)
+        rows = [
+            sweep_row(job_meta, result, config=job.config)
+            for job_meta, job, result in zip(meta, jobs, results)
+        ]
+        return SweepResult(
+            spec=spec.to_record(),
+            rows=jsonify_rows(rows),
+            settings=self.settings.to_record(),
+        )
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, object] | None:
+        """Entry count and byte size of the on-disk cache (``None``: no cache)."""
+        if self.cache is None:
+            return None
+        return {
+            "directory": str(self.cache.directory),
+            "entries": self.cache.entry_count(),
+            "size_bytes": self.cache.size_bytes(),
+        }
+
+    def clear_cache(self) -> int:
+        """Drop every cache entry; returns how many were removed."""
+        if self.cache is None:
+            return 0
+        return self.cache.clear()
+
+    def prune_cache(self, max_size_bytes: int) -> PruneReport:
+        """Evict least-recently-written entries down to ``max_size_bytes``."""
+        if self.cache is None:
+            return PruneReport(0, 0, 0, 0)
+        return self.cache.prune(max_size_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Session(settings={self.settings!r}, runner={self.runner!r})"
+
+
+# ----------------------------------------------------------------------
+# Shared sessions (what the deprecated free-function shims delegate to)
+# ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=4)
+def shared_session(settings: ExperimentSettings) -> Session:
+    """The process-wide session for one settings value.
+
+    Backed by the process-wide :func:`~repro.runtime.default_runner`, so the
+    in-process memo and the runner's stats are shared between the facade and
+    any legacy free-function call sites that run the same settings.
+    """
+    return Session(settings, runner=default_runner())
+
+
+def default_session() -> Session:
+    """The shared session over the environment-default settings."""
+    return shared_session(default_settings())

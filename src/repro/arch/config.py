@@ -8,7 +8,7 @@ merge network and the memory controllers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 
 @dataclass(frozen=True)
@@ -137,6 +137,17 @@ class AcceleratorConfig:
     def cycles_to_seconds(self, cycles: float) -> float:
         """Convert a cycle count into wall-clock seconds at the configured clock."""
         return cycles / self.frequency_hz
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form (used by the :mod:`repro.api` response records)."""
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: dict) -> "AcceleratorConfig":
+        """Inverse of :meth:`to_record`."""
+        fields = dict(record)
+        dram = fields.pop("dram")
+        return cls(dram=DramConfig(**dram), **fields)
 
     def scaled(self, factor: float) -> "AcceleratorConfig":
         """Return a copy with the on-chip SRAM capacities scaled by ``factor``.

@@ -1,0 +1,313 @@
+"""``python -m repro`` — the command-line face of the :mod:`repro.api` facade.
+
+Subcommands::
+
+    python -m repro figure fig12              # rows of one figure, as JSON
+    python -m repro figure fig13 --table      # ... or as an aligned table
+    python -m repro sweep --models SQ --designs Flexagon,GAMMA-like
+    python -m repro cache stats               # entries + size
+    python -m repro cache clear               # drop every entry
+    python -m repro cache prune --max-size-mb 64   # LRU-evict down to a bound
+    python -m repro list                      # figures, models, layers, designs
+
+``figure`` and ``sweep`` write the canonical JSON of the response record to
+stdout (or ``-o FILE``): two invocations over the same settings and a warm
+cache produce byte-identical output, with zero jobs executed on the second
+run.  The job counters go to stderr so they never perturb the payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api.figures import FIGURES
+from repro.api.requests import FigureQuery, SweepSpec
+from repro.api.session import Session
+from repro.experiments.settings import default_settings
+from repro.metrics.reporting import format_table
+from repro.runtime import BatchRunner, ResultCache
+from repro.workloads.models import MODEL_REGISTRY
+from repro.workloads.representative import representative_layer_names
+
+
+# ----------------------------------------------------------------------
+# Shared argument groups
+# ----------------------------------------------------------------------
+def _add_settings_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("experiment settings")
+    group.add_argument(
+        "--max-dense-macs", type=float, default=None, metavar="N",
+        help="per-layer dense-MAC budget driving the scaling policy",
+    )
+    group.add_argument(
+        "--max-layers", type=int, default=None, metavar="N",
+        help="cap on sampled layers per model in end-to-end sweeps",
+    )
+    group.add_argument(
+        "--full-scale", action="store_true",
+        help="simulate full-size (unscaled) layers",
+    )
+    group.add_argument(
+        "--seed-salt", type=int, default=None, metavar="N",
+        help="random-seed salt for synthetic matrix generation",
+    )
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("runtime")
+    group.add_argument(
+        "--serial", action="store_true", help="force the serial executor"
+    )
+    group.add_argument(
+        "--workers", type=int, default=None, metavar="N", help="process-pool width"
+    )
+    group.add_argument(
+        "--no-cache", action="store_true", help="run without the persistent cache"
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+
+
+def _add_output_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("output")
+    group.add_argument(
+        "--table", action="store_true",
+        help="render an aligned table instead of JSON",
+    )
+    group.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the payload to FILE instead of stdout",
+    )
+
+
+def _settings_from_args(args: argparse.Namespace):
+    overrides: dict = {}
+    if args.full_scale:
+        overrides["max_dense_macs"] = None
+    if args.max_dense_macs is not None:
+        overrides["max_dense_macs"] = args.max_dense_macs
+    if args.max_layers is not None:
+        overrides["max_layers_per_model"] = args.max_layers
+    if args.seed_salt is not None:
+        overrides["seed_salt"] = args.seed_salt
+    return default_settings(**overrides)
+
+
+def _session_from_args(args: argparse.Namespace) -> Session:
+    runner_kwargs: dict = {
+        "parallel": False if args.serial else None,
+        "max_workers": args.workers,
+    }
+    if args.no_cache:
+        runner_kwargs["cache"] = None
+    elif args.cache_dir:
+        runner_kwargs["cache"] = ResultCache(args.cache_dir)
+    return Session(_settings_from_args(args), runner=BatchRunner(**runner_kwargs))
+
+
+def _emit(args: argparse.Namespace, payload: str) -> None:
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        sys.stdout.write(payload)
+
+
+def _report_jobs(session: Session) -> None:
+    stats = session.stats
+    print(
+        f"[repro] jobs: submitted={stats.submitted} cache_hits={stats.cache_hits} "
+        f"executed={stats.executed}",
+        file=sys.stderr,
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_figure(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    result = session.figure(FigureQuery(args.figure))
+    if args.table:
+        payload = format_table(result.rows, title=result.title)
+    else:
+        payload = result.to_json() + "\n"
+    _emit(args, payload)
+    _report_jobs(session)
+    return 0
+
+
+def _parse_override(text: str) -> tuple[str, object]:
+    name, _, raw = text.partition("=")
+    if not _ or not name:
+        raise argparse.ArgumentTypeError(f"expected KEY=VALUE, got {text!r}")
+    try:
+        value: object = int(raw)
+    except ValueError:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"override {name!r} must be numeric, got {raw!r}"
+            ) from None
+    return name, value
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    spec = SweepSpec(
+        designs=args.designs,
+        models=args.models,
+        layers=args.layers,
+        config_overrides=args.set or (),
+        scale=args.scale,
+        max_layers_per_model=args.max_layers,
+    )
+    result = session.sweep(spec)
+    if args.table:
+        payload = format_table(result.rows, title=f"Sweep {spec.key()[:12]}")
+    else:
+        payload = result.to_json() + "\n"
+    _emit(args, payload)
+    _report_jobs(session)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    if args.cache_command == "stats":
+        print(f"cache directory : {cache.directory}")
+        print(f"entries         : {cache.entry_count()}")
+        print(f"size            : {cache.size_bytes() / 1e6:.2f} MB")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    assert args.cache_command == "prune", args.cache_command
+    report = cache.prune(int(args.max_size_mb * 1e6))
+    print(
+        f"pruned {report.removed_entries} entries ({report.freed_bytes / 1e6:.2f} MB) "
+        f"from {cache.directory}; {report.remaining_entries} entries "
+        f"({report.remaining_bytes / 1e6:.2f} MB) remain"
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    what = args.what
+    if what in ("figures", "all"):
+        print("figures:")
+        for definition in FIGURES.values():
+            print(f"  {definition.figure:8s} {definition.title}")
+    if what in ("models", "all"):
+        print("models:")
+        for short_name, model in MODEL_REGISTRY.items():
+            print(f"  {short_name:5s} {model.name} ({model.num_layers} layers)")
+    if what in ("layers", "all"):
+        print("layers:")
+        for name in representative_layer_names():
+            print(f"  {name}")
+    if what in ("designs", "all"):
+        from repro.api.requests import SWEEPABLE_DESIGNS
+
+        print("designs:")
+        for design in SWEEPABLE_DESIGNS:
+            print(f"  {design}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Flexagon reproduction: figure queries, sweeps and cache "
+        "maintenance over the batched simulation runtime.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure = subparsers.add_parser(
+        "figure", help="compute (or cache-serve) the rows of one figure/table"
+    )
+    figure.add_argument(
+        "figure", metavar="FIG",
+        help="figure identifier, e.g. fig12, fig13, table2 ('list' shows all)",
+    )
+    _add_output_args(figure)
+    _add_settings_args(figure)
+    _add_runner_args(figure)
+    figure.set_defaults(func=_cmd_figure)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a declarative models x designs x layers grid"
+    )
+    sweep.add_argument(
+        "--models", default=None, metavar="CSV", help="Table 2 short names, e.g. SQ,V"
+    )
+    sweep.add_argument(
+        "--layers", default=None, metavar="CSV",
+        help="Table 6 representative layer names, e.g. R6,A2",
+    )
+    sweep.add_argument(
+        "--designs", default=",".join(SweepSpec.__dataclass_fields__["designs"].default),
+        metavar="CSV", help="designs to simulate (default: the four accelerators)",
+    )
+    sweep.add_argument(
+        "--set", action="append", type=_parse_override, metavar="KEY=VALUE",
+        help="accelerator-config override (repeatable), e.g. --set num_multipliers=16",
+    )
+    sweep.add_argument(
+        "--scale", type=float, default=None,
+        help="pin the operand scale factor (skips the MAC-budget policy)",
+    )
+    _add_output_args(sweep)
+    _add_settings_args(sweep)
+    _add_runner_args(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache = subparsers.add_parser("cache", help="inspect or maintain the result cache")
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry count and size")
+    cache_sub.add_parser("clear", help="drop every entry")
+    prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-written entries down to a size bound"
+    )
+    prune.add_argument(
+        "--max-size-mb", type=float, required=True, metavar="N",
+        help="keep at most N megabytes of entries (oldest evicted first)",
+    )
+    cache.set_defaults(func=_cmd_cache)
+
+    lister = subparsers.add_parser(
+        "list", help="list answerable figures, models, layers and designs"
+    )
+    lister.add_argument(
+        "what", nargs="?", default="all",
+        choices=("all", "figures", "models", "layers", "designs"),
+    )
+    lister.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

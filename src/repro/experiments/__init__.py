@@ -9,6 +9,8 @@ and can be reused programmatically.
 from repro.experiments.settings import ExperimentSettings, default_settings
 from repro.experiments.layerwise import (
     LayerwiseResults,
+    collate_layerwise,
+    layerwise_jobs,
     run_layerwise_comparison,
     layerwise_speedup_rows,
     onchip_traffic_rows,
@@ -17,6 +19,8 @@ from repro.experiments.layerwise import (
 )
 from repro.experiments.end_to_end import (
     EndToEndResults,
+    collate_end_to_end,
+    end_to_end_jobs,
     run_end_to_end,
     end_to_end_speedup_rows,
     performance_per_area_rows,
@@ -29,12 +33,16 @@ __all__ = [
     "ExperimentSettings",
     "default_settings",
     "LayerwiseResults",
+    "collate_layerwise",
+    "layerwise_jobs",
     "run_layerwise_comparison",
     "layerwise_speedup_rows",
     "onchip_traffic_rows",
     "miss_rate_rows",
     "offchip_traffic_rows",
     "EndToEndResults",
+    "collate_end_to_end",
+    "end_to_end_jobs",
     "run_end_to_end",
     "end_to_end_speedup_rows",
     "performance_per_area_rows",

@@ -7,16 +7,17 @@ from repro.accelerators.area_power import (
     naive_triple_network_area,
 )
 from repro.arch.config import AcceleratorConfig
+from repro.metrics.results import Row
 
 _DESIGNS = ("SIGMA-like", "SpArch-like", "GAMMA-like", "Flexagon")
 
 
-def area_power_rows(config: AcceleratorConfig | None = None) -> list[dict[str, object]]:
+def area_power_rows(config: AcceleratorConfig | None = None) -> list[Row]:
     """Rows of Table 8: per-component area and power for the four designs."""
     return [accelerator_area_power(design, config).as_row() for design in _DESIGNS]
 
 
-def naive_comparison_rows(config: AcceleratorConfig | None = None) -> list[dict[str, object]]:
+def naive_comparison_rows(config: AcceleratorConfig | None = None) -> list[Row]:
     """Rows of Fig. 17b: Flexagon vs the naive triple-network design."""
     comparison = naive_triple_network_area(config)
     rows = []

@@ -10,24 +10,32 @@ through :class:`repro.runtime.BatchRunner`: layers of a chain are independent
 here (the mapper plans format variants globally, Section 3.3, so no
 conversion state flows between layers), which makes the grid embarrassingly
 parallel and lets the runtime answer repeat runs from its persistent cache.
-Results are additionally memoized in-process per settings object.
+
+This module owns the *sweep definition* (:func:`end_to_end_jobs`), the
+*collation* of grid results into :class:`EndToEndResults`
+(:func:`collate_end_to_end`) and the per-figure row makers.  Execution goes
+through the :class:`repro.api.Session` facade; :func:`run_end_to_end` remains
+as a deprecated shim over it.
 """
 
 from __future__ import annotations
 
-import functools
+import json
+import warnings
 from dataclasses import dataclass, field
 
 from repro.accelerators import accelerator_area_power
+from repro.arch.config import AcceleratorConfig
 from repro.experiments.settings import ExperimentSettings, default_settings
-from repro.metrics.results import ModelSimResult, geometric_mean
-from repro.runtime import (
-    CPU_DESIGN,
-    DESIGN_ORDER,
-    BatchRunner,
-    SimJob,
-    default_runner,
+from repro.metrics.results import (
+    RESULT_SCHEMA_VERSION,
+    ModelSimResult,
+    Row,
+    canonical_order,
+    check_record_schema,
+    geometric_mean,
 )
+from repro.runtime import CPU_DESIGN, DESIGN_ORDER, BatchRunner, SimJob
 from repro.workloads.layers import LayerSpec
 from repro.workloads.models import MODEL_REGISTRY, ModelSpec
 
@@ -48,11 +56,73 @@ class EndToEndResults:
     #: Extrapolation factor (total layers / sampled layers) per model.
     extrapolation: dict[str, float]
     #: The (scaled) accelerator configuration used for each model.
-    configs: dict[str, "object"] = field(default_factory=dict)
+    configs: dict[str, AcceleratorConfig] = field(default_factory=dict)
 
     def model_names(self) -> list[str]:
         """Model short names in Table 2 order."""
         return list(self.accelerator_results)
+
+    # ------------------------------------------------------------------
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form (versioned; see :mod:`repro.metrics.results`)."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "end_to_end",
+            "settings": self.settings.to_record(),
+            "accelerator_results": {
+                model: {
+                    design: record.to_record() for design, record in per_design.items()
+                }
+                for model, per_design in self.accelerator_results.items()
+            },
+            "cpu_cycles": {k: float(v) for k, v in self.cpu_cycles.items()},
+            "cpu_seconds": {k: float(v) for k, v in self.cpu_seconds.items()},
+            "sampled_layers": {k: int(v) for k, v in self.sampled_layers.items()},
+            "extrapolation": {k: float(v) for k, v in self.extrapolation.items()},
+            "configs": {k: config.to_record() for k, config in self.configs.items()},
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "EndToEndResults":
+        """Inverse of :meth:`to_record`.
+
+        JSON serialisation sorts mapping keys, so the canonical orderings
+        the figures rely on (models in Table 2 order, designs in plot order)
+        are restored here rather than trusted from the payload.
+        """
+        check_record_schema(record, "end_to_end")
+        models = canonical_order(record["accelerator_results"], MODEL_REGISTRY)
+        return cls(
+            settings=ExperimentSettings.from_record(record["settings"]),
+            accelerator_results={
+                model: {
+                    design: ModelSimResult.from_record(
+                        record["accelerator_results"][model][design]
+                    )
+                    for design in canonical_order(
+                        record["accelerator_results"][model], DESIGN_ORDER
+                    )
+                }
+                for model in models
+            },
+            cpu_cycles={m: record["cpu_cycles"][m] for m in models},
+            cpu_seconds={m: record["cpu_seconds"][m] for m in models},
+            sampled_layers={m: record["sampled_layers"][m] for m in models},
+            extrapolation={m: record["extrapolation"][m] for m in models},
+            configs={
+                m: AcceleratorConfig.from_record(record["configs"][m])
+                for m in canonical_order(record["configs"], MODEL_REGISTRY)
+            },
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialize to a JSON string that :meth:`from_json` reverses."""
+        return json.dumps(self.to_record(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "EndToEndResults":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_record(json.loads(payload))
 
     def accelerator_seconds(self, model: str, design: str) -> float:
         """Wall-clock seconds of one design on one model (sampled chain)."""
@@ -83,19 +153,42 @@ def _sample_layers(model: ModelSpec, max_layers: int) -> list[LayerSpec]:
     return [layers[int(i * step)] for i in range(max_layers)]
 
 
-def _job_grid(
+def sample_model_chain(
+    model: ModelSpec,
     settings: ExperimentSettings,
-) -> tuple[list[SimJob], dict[str, object], dict[str, list[LayerSpec]]]:
-    """The flat (model, design, layer) job grid of the end-to-end sweep."""
+    max_layers: int | None = None,
+) -> tuple[list[LayerSpec], float, AcceleratorConfig]:
+    """The sampled layer chain of one model plus its common scale and config.
+
+    This is the per-model policy both the end-to-end grid and
+    :meth:`repro.api.SweepSpec.compile` share — one common scale per model
+    (the tightest layer budget) keeps successive layers chainable, and the
+    configuration is scaled to match.  Keeping a single implementation is
+    what guarantees a model sweep builds byte-identical
+    :class:`~repro.runtime.SimJob` keys to the figure grids, so the two
+    reuse each other's cache entries.
+    """
+    cap = max_layers if max_layers is not None else settings.max_layers_per_model
+    sampled = _sample_layers(model, cap)
+    scale = min(settings.layer_scale(spec) for spec in sampled)
+    return sampled, scale, settings.scaled_config(scale)
+
+
+def end_to_end_jobs(
+    settings: ExperimentSettings,
+) -> tuple[list[SimJob], dict[str, AcceleratorConfig], dict[str, list[LayerSpec]]]:
+    """The flat (model, design, layer) job grid of the end-to-end sweep.
+
+    Returns the jobs plus the per-model scaled configuration and sampled
+    layer specs that :func:`collate_end_to_end` needs to assemble the grid's
+    results.
+    """
     jobs: list[SimJob] = []
-    configs: dict[str, object] = {}
+    configs: dict[str, AcceleratorConfig] = {}
     sampled_specs: dict[str, list[LayerSpec]] = {}
     for short_name, model in MODEL_REGISTRY.items():
-        sampled = _sample_layers(model, settings.max_layers_per_model)
+        sampled, scale, config = sample_model_chain(model, settings)
         sampled_specs[short_name] = sampled
-        # One common scale per model keeps successive layers chainable.
-        scale = min(settings.layer_scale(spec) for spec in sampled)
-        config = settings.scaled_config(scale)
         configs[short_name] = config
         for spec in sampled:
             seed = spec.deterministic_seed(settings.seed_salt)
@@ -116,11 +209,14 @@ def _job_grid(
     return jobs, configs, sampled_specs
 
 
-def _run_with_runner(
-    settings: ExperimentSettings, runner: BatchRunner
+def collate_end_to_end(
+    settings: ExperimentSettings,
+    configs: dict[str, AcceleratorConfig],
+    sampled_specs: dict[str, list[LayerSpec]],
+    results: list,
 ) -> EndToEndResults:
-    jobs, configs, sampled_specs = _job_grid(settings)
-    grid_results = iter(runner.run(jobs))
+    """Assemble the grid results of :func:`end_to_end_jobs` (same order)."""
+    grid_results = iter(results)
 
     accelerator_results: dict[str, dict[str, ModelSimResult]] = {}
     cpu_cycles: dict[str, float] = {}
@@ -158,43 +254,49 @@ def _run_with_runner(
     )
 
 
-@functools.lru_cache(maxsize=4)
-def _cached_run(settings: ExperimentSettings) -> EndToEndResults:
-    return _run_with_runner(settings, default_runner())
-
-
 def run_end_to_end(
     settings: ExperimentSettings | None = None,
     runner: BatchRunner | None = None,
 ) -> EndToEndResults:
     """Execute the eight models on the CPU and the four designs.
 
-    With the default ``runner`` the call is memoized in-process per settings
-    object (and across processes by the runtime's on-disk cache).  Passing an
-    explicit :class:`~repro.runtime.BatchRunner` bypasses the in-process
-    memo — that is the hook the runtime tests use to observe cache and
-    executor behaviour directly.
+    .. deprecated::
+        Construct a :class:`repro.api.Session` and call
+        :meth:`~repro.api.Session.end_to_end` instead.  This shim keeps the
+        pre-facade call sites working: with the default ``runner`` it
+        delegates to the shared per-settings session (memoized in-process and
+        across processes by the runtime's on-disk cache); an explicit
+        :class:`~repro.runtime.BatchRunner` gets a private session, which is
+        the hook the runtime tests use to observe cache and executor
+        behaviour directly.
     """
+    warnings.warn(
+        "run_end_to_end() is deprecated; use repro.api.Session().end_to_end()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.session import Session, shared_session
+
     settings = settings or default_settings()
     if runner is None:
-        return _cached_run(settings)
-    return _run_with_runner(settings, runner)
+        return shared_session(settings).end_to_end()
+    return Session(settings, runner=runner).end_to_end()
 
 
 # ----------------------------------------------------------------------
 # Figure 12: end-to-end speed-up over the CPU baseline
 # ----------------------------------------------------------------------
-def end_to_end_speedup_rows(results: EndToEndResults) -> list[dict[str, object]]:
+def end_to_end_speedup_rows(results: EndToEndResults) -> list[Row]:
     """Rows of Fig. 12: per model, each design's speed-up over CPU MKL (in time)."""
     rows = []
     for model in results.model_names():
         cpu_time = results.cpu_seconds[model]
-        row: dict[str, object] = {"model": model, "CPU-MKL": 1.0}
+        row: Row = {"model": model, "CPU-MKL": 1.0}
         for design in DESIGN_ORDER:
             accel_time = results.accelerator_seconds_full_size(model, design)
             row[design] = cpu_time / accel_time if accel_time else float("inf")
         rows.append(row)
-    geo: dict[str, object] = {"model": "GEOMEAN", "CPU-MKL": 1.0}
+    geo: Row = {"model": "GEOMEAN", "CPU-MKL": 1.0}
     for design in DESIGN_ORDER:
         geo[design] = geometric_mean([float(row[design]) for row in rows])
     rows.append(geo)
@@ -204,7 +306,7 @@ def end_to_end_speedup_rows(results: EndToEndResults) -> list[dict[str, object]]
 # ----------------------------------------------------------------------
 # Figure 18: performance / area
 # ----------------------------------------------------------------------
-def performance_per_area_rows(results: EndToEndResults) -> list[dict[str, object]]:
+def performance_per_area_rows(results: EndToEndResults) -> list[Row]:
     """Rows of Fig. 18: speed-up over SIGMA-like divided by normalised area."""
     areas = {design: accelerator_area_power(design, results.settings.config).total_area
              for design in DESIGN_ORDER}
@@ -212,14 +314,14 @@ def performance_per_area_rows(results: EndToEndResults) -> list[dict[str, object
     rows = []
     for model in results.model_names():
         sigma_cycles = results.accelerator_results[model]["SIGMA-like"].total_cycles
-        row: dict[str, object] = {"model": model}
+        row: Row = {"model": model}
         for design in DESIGN_ORDER:
             cycles = results.accelerator_results[model][design].total_cycles
             speedup = sigma_cycles / cycles if cycles else float("inf")
             normalised_area = areas[design] / sigma_area
             row[design] = speedup / normalised_area
         rows.append(row)
-    geo: dict[str, object] = {"model": "GEOMEAN"}
+    geo: Row = {"model": "GEOMEAN"}
     for design in DESIGN_ORDER:
         geo[design] = geometric_mean([float(row[design]) for row in rows])
     rows.append(geo)
@@ -229,7 +331,7 @@ def performance_per_area_rows(results: EndToEndResults) -> list[dict[str, object
 # ----------------------------------------------------------------------
 # Figure 1: best dataflow per layer
 # ----------------------------------------------------------------------
-def best_dataflow_per_layer_rows(results: EndToEndResults) -> list[dict[str, object]]:
+def best_dataflow_per_layer_rows(results: EndToEndResults) -> list[Row]:
     """Rows of Fig. 1: for every simulated layer, which dataflow family wins.
 
     The winner is determined exactly as in the paper: by comparing the cycles
@@ -265,7 +367,7 @@ def best_dataflow_per_layer_rows(results: EndToEndResults) -> list[dict[str, obj
 # ----------------------------------------------------------------------
 # Table 2: model statistics
 # ----------------------------------------------------------------------
-def model_statistics_rows(results: EndToEndResults) -> list[dict[str, object]]:
+def model_statistics_rows(results: EndToEndResults) -> list[Row]:
     """Rows of Table 2: per model, layer counts, sparsities, sizes and CPU cycles."""
     rows = []
     for short_name, model in MODEL_REGISTRY.items():

@@ -5,18 +5,30 @@ layer on the four accelerator designs; the per-figure ``*_rows`` helpers then
 slice the same results into the rows each figure plots.  The (layer, design)
 grid is submitted through :class:`repro.runtime.BatchRunner`, so the sweep
 runs in parallel and repeat runs are answered from the runtime's persistent
-cache; results are additionally memoized in-process per settings object so
-the four benchmark files do not redo even the cache lookups.
+cache.
+
+This module owns the *sweep definition* (:func:`layerwise_jobs`), the
+*collation* of grid results into :class:`LayerwiseResults`
+(:func:`collate_layerwise`) and the per-figure row makers.  Execution goes
+through the :class:`repro.api.Session` facade; :func:`run_layerwise_comparison`
+remains as a deprecated shim over it.
 """
 
 from __future__ import annotations
 
-import functools
+import json
+import warnings
 from dataclasses import dataclass
 
 from repro.experiments.settings import ExperimentSettings, default_settings
-from repro.metrics.results import LayerSimResult
-from repro.runtime import DESIGN_ORDER, BatchRunner, SimJob, default_runner
+from repro.metrics.results import (
+    RESULT_SCHEMA_VERSION,
+    LayerSimResult,
+    Row,
+    canonical_order,
+    check_record_schema,
+)
+from repro.runtime import DESIGN_ORDER, BatchRunner, SimJob
 from repro.workloads.representative import REPRESENTATIVE_LAYERS, representative_layer_names
 
 
@@ -38,10 +50,66 @@ class LayerwiseResults:
         """The result record of one (layer, design) pair."""
         return self.results[layer][design]
 
+    # ------------------------------------------------------------------
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form (versioned; see :mod:`repro.metrics.results`)."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "layerwise",
+            "settings": self.settings.to_record(),
+            "results": {
+                layer: {
+                    design: record.to_record() for design, record in per_design.items()
+                }
+                for layer, per_design in self.results.items()
+            },
+            "scales": {k: float(v) for k, v in self.scales.items()},
+        }
 
-def _run_with_runner(
-    settings: ExperimentSettings, runner: BatchRunner
-) -> LayerwiseResults:
+    @classmethod
+    def from_record(cls, record: dict) -> "LayerwiseResults":
+        """Inverse of :meth:`to_record`.
+
+        JSON serialisation sorts mapping keys, so the Table 6 layer order and
+        the plot-order design columns are restored here rather than trusted
+        from the payload.
+        """
+        check_record_schema(record, "layerwise")
+        layer_order = canonical_order(record["results"], representative_layer_names())
+        return cls(
+            settings=ExperimentSettings.from_record(record["settings"]),
+            results={
+                layer: {
+                    design: LayerSimResult.from_record(
+                        record["results"][layer][design]
+                    )
+                    for design in canonical_order(
+                        record["results"][layer], DESIGN_ORDER
+                    )
+                }
+                for layer in layer_order
+            },
+            scales={name: record["scales"][name] for name in layer_order},
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialize to a JSON string that :meth:`from_json` reverses."""
+        return json.dumps(self.to_record(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "LayerwiseResults":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_record(json.loads(payload))
+
+
+def layerwise_jobs(
+    settings: ExperimentSettings,
+) -> tuple[list[SimJob], dict[str, float]]:
+    """The flat (layer, design) job grid of the layer-wise sweep.
+
+    Returns the jobs plus the per-layer scale factors that
+    :func:`collate_layerwise` needs to assemble the grid's results.
+    """
     scales = {spec.name: settings.layer_scale(spec) for spec in REPRESENTATIVE_LAYERS}
     jobs = [
         SimJob(
@@ -55,16 +123,20 @@ def _run_with_runner(
         for spec in REPRESENTATIVE_LAYERS
         for design in DESIGN_ORDER
     ]
-    grid_results = iter(runner.run(jobs))
-    results: dict[str, dict[str, LayerSimResult]] = {}
+    return jobs, scales
+
+
+def collate_layerwise(
+    settings: ExperimentSettings,
+    scales: dict[str, float],
+    results: list,
+) -> LayerwiseResults:
+    """Assemble the grid results of :func:`layerwise_jobs` (same order)."""
+    grid_results = iter(results)
+    collated: dict[str, dict[str, LayerSimResult]] = {}
     for spec in REPRESENTATIVE_LAYERS:
-        results[spec.name] = {design: next(grid_results) for design in DESIGN_ORDER}
-    return LayerwiseResults(settings=settings, results=results, scales=scales)
-
-
-@functools.lru_cache(maxsize=4)
-def _cached_run(settings: ExperimentSettings) -> LayerwiseResults:
-    return _run_with_runner(settings, default_runner())
+        collated[spec.name] = {design: next(grid_results) for design in DESIGN_ORDER}
+    return LayerwiseResults(settings=settings, results=collated, scales=scales)
 
 
 def run_layerwise_comparison(
@@ -73,20 +145,32 @@ def run_layerwise_comparison(
 ) -> LayerwiseResults:
     """Simulate the nine Table 6 layers on the four designs.
 
-    Memoized in-process per settings object (and across processes by the
-    runtime's on-disk cache); an explicit ``runner`` bypasses the in-process
-    memo, exposing cache and executor behaviour to the runtime tests.
+    .. deprecated::
+        Construct a :class:`repro.api.Session` and call
+        :meth:`~repro.api.Session.layerwise` instead.  This shim keeps the
+        pre-facade call sites working: with the default ``runner`` it
+        delegates to the shared per-settings session (memoized in-process and
+        across processes by the runtime's on-disk cache); an explicit
+        ``runner`` gets a private session, exposing cache and executor
+        behaviour to the runtime tests.
     """
+    warnings.warn(
+        "run_layerwise_comparison() is deprecated; use repro.api.Session().layerwise()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.session import Session, shared_session
+
     settings = settings or default_settings()
     if runner is None:
-        return _cached_run(settings)
-    return _run_with_runner(settings, runner)
+        return shared_session(settings).layerwise()
+    return Session(settings, runner=runner).layerwise()
 
 
 # ----------------------------------------------------------------------
 # Figure 13: layer-wise speed-up, split into multiplying and merging phases
 # ----------------------------------------------------------------------
-def layerwise_speedup_rows(results: LayerwiseResults) -> list[dict[str, object]]:
+def layerwise_speedup_rows(results: LayerwiseResults) -> list[Row]:
     """Rows of Fig. 13: per layer and design, speed-up vs the SIGMA-like design."""
     rows = []
     for layer in results.layer_names():
@@ -115,7 +199,7 @@ def layerwise_speedup_rows(results: LayerwiseResults) -> list[dict[str, object]]
 # ----------------------------------------------------------------------
 # Figure 14: on-chip memory traffic breakdown
 # ----------------------------------------------------------------------
-def onchip_traffic_rows(results: LayerwiseResults) -> list[dict[str, object]]:
+def onchip_traffic_rows(results: LayerwiseResults) -> list[Row]:
     """Rows of Fig. 14: STA / STR / psum on-chip traffic per layer and design (MB)."""
     rows = []
     for layer in results.layer_names():
@@ -137,7 +221,7 @@ def onchip_traffic_rows(results: LayerwiseResults) -> list[dict[str, object]]:
 # ----------------------------------------------------------------------
 # Figure 15: streaming-cache miss rate
 # ----------------------------------------------------------------------
-def miss_rate_rows(results: LayerwiseResults) -> list[dict[str, object]]:
+def miss_rate_rows(results: LayerwiseResults) -> list[Row]:
     """Rows of Fig. 15: STR cache miss rate (%) per layer and design."""
     rows = []
     for layer in results.layer_names():
@@ -157,14 +241,13 @@ def miss_rate_rows(results: LayerwiseResults) -> list[dict[str, object]]:
 # ----------------------------------------------------------------------
 # Figure 16: off-chip traffic
 # ----------------------------------------------------------------------
-def offchip_traffic_rows(results: LayerwiseResults) -> list[dict[str, object]]:
+def offchip_traffic_rows(results: LayerwiseResults) -> list[Row]:
     """Rows of Fig. 16: off-chip (STR cache <-> DRAM) traffic per layer and design (KB)."""
     rows = []
     for layer in results.layer_names():
         for design in DESIGN_ORDER:
             record = results.result(layer, design)
-            dram = getattr(record, "dram", None)
-            str_read = dram.str_read_bytes if dram else 0
+            str_read = record.dram.str_read_bytes if record.dram else 0
             rows.append(
                 {
                     "layer": layer,

@@ -36,6 +36,23 @@ class ExperimentSettings:
     seed_salt: int = 0
 
     # ------------------------------------------------------------------
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form (used by the :mod:`repro.api` response records)."""
+        return {
+            "config": self.config.to_record(),
+            "max_dense_macs": self.max_dense_macs,
+            "max_layers_per_model": self.max_layers_per_model,
+            "seed_salt": self.seed_salt,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ExperimentSettings":
+        """Inverse of :meth:`to_record`."""
+        fields = dict(record)
+        config = AcceleratorConfig.from_record(fields.pop("config"))
+        return cls(config=config, **fields)
+
+    # ------------------------------------------------------------------
     def layer_scale(self, spec: LayerSpec) -> float:
         """The dimension scale factor used for ``spec``."""
         if self.max_dense_macs is None:

@@ -5,16 +5,62 @@ benchmark harness: every quantity the paper's figures plot (cycles split into
 multiplying/merging phases, on-chip traffic per memory structure, streaming
 cache miss rate, off-chip traffic, speed-ups, performance/area) is a field or
 derived property here.
+
+Every record is **JSON-round-trippable**: ``to_record()`` produces a plain
+dict of JSON-safe values (versioned by :data:`RESULT_SCHEMA_VERSION`) and
+``from_record()`` reconstructs an equivalent record, so results can cross
+process and service boundaries — the contract the :mod:`repro.api` response
+objects are built on.  The only field that does not survive the trip is a
+captured ``output`` matrix (it is deliberately dropped; results that must
+travel should be produced with ``capture_output=False``, the default).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Union
 
+from repro.arch.memory.dram import DramTrafficCounter
 from repro.dataflows.base import Dataflow
 from repro.dataflows.stats import DataflowStats
+
+#: Version of the serialized record layout.  Bump whenever ``to_record`` /
+#: ``from_record`` change shape so stale payloads are rejected loudly instead
+#: of deserialising into nonsense.
+RESULT_SCHEMA_VERSION = 1
+
+#: The value types a report row may carry: every row dict produced by the
+#: experiment harness and the :mod:`repro.api` response records is JSON-safe.
+RowValue = Union[str, int, float, bool, None]
+
+#: One row of a reproduced figure or table (column name -> JSON-safe value).
+Row = dict[str, RowValue]
+
+
+def canonical_order(present: dict, canonical) -> list[str]:
+    """Keys of ``present`` in canonical order, unknown keys last (stable).
+
+    JSON serialisation sorts mapping keys, so deserializers use this to
+    restore the orderings the figures rely on (models in Table 2 order,
+    layers in Table 6 order, designs in plot order).
+    """
+    known = [key for key in canonical if key in present]
+    return known + [key for key in present if key not in set(known)]
+
+
+def check_record_schema(record: dict, expected_kind: str | None = None) -> None:
+    """Validate the schema stamp of a serialized record before decoding it."""
+    version = record.get("schema")
+    if version != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported record schema {version!r}; "
+            f"this build reads version {RESULT_SCHEMA_VERSION}"
+        )
+    if expected_kind is not None and record.get("kind") != expected_kind:
+        raise ValueError(
+            f"expected a {expected_kind!r} record, got {record.get('kind')!r}"
+        )
 
 
 @dataclass
@@ -40,6 +86,19 @@ class PhaseCycles:
             streaming=self.streaming + other.streaming,
             merging=self.merging + other.merging,
         )
+
+    def to_record(self) -> dict[str, float]:
+        """JSON-safe dict form."""
+        return {
+            "stationary": float(self.stationary),
+            "streaming": float(self.streaming),
+            "merging": float(self.merging),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "PhaseCycles":
+        """Inverse of :meth:`to_record`."""
+        return cls(**record)
 
 
 @dataclass
@@ -69,6 +128,15 @@ class TrafficBreakdown:
             offchip_bytes=self.offchip_bytes + other.offchip_bytes,
         )
 
+    def to_record(self) -> dict[str, int]:
+        """JSON-safe dict form (numpy integers normalised to plain ints)."""
+        return {name: int(value) for name, value in asdict(self).items()}
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TrafficBreakdown":
+        """Inverse of :meth:`to_record`."""
+        return cls(**record)
+
 
 @dataclass
 class LayerSimResult:
@@ -92,11 +160,54 @@ class LayerSimResult:
     output: Optional[object] = None
     #: Optional label of the layer that was simulated.
     layer_name: str = ""
+    #: Full off-chip traffic breakdown (``None`` for records produced by
+    #: models without a DRAM interface, e.g. deserialized legacy payloads).
+    dram: Optional[DramTrafficCounter] = None
 
     @property
     def total_cycles(self) -> float:
         """Total execution cycles."""
         return self.cycles.total
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form (a captured ``output`` matrix is dropped)."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "layer_result",
+            "accelerator": self.accelerator,
+            "dataflow": self.dataflow.name,
+            "cycles": self.cycles.to_record(),
+            "traffic": self.traffic.to_record(),
+            "str_cache_miss_rate": float(self.str_cache_miss_rate),
+            "str_cache_accesses": int(self.str_cache_accesses),
+            "stats": {name: int(value) for name, value in asdict(self.stats).items()},
+            "layer_name": self.layer_name,
+            "dram": (
+                None
+                if self.dram is None
+                else {name: int(value) for name, value in asdict(self.dram).items()}
+            ),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "LayerSimResult":
+        """Inverse of :meth:`to_record`."""
+        check_record_schema(record, "layer_result")
+        return cls(
+            accelerator=record["accelerator"],
+            dataflow=Dataflow[record["dataflow"]],
+            cycles=PhaseCycles.from_record(record["cycles"]),
+            traffic=TrafficBreakdown.from_record(record["traffic"]),
+            str_cache_miss_rate=record["str_cache_miss_rate"],
+            str_cache_accesses=record["str_cache_accesses"],
+            stats=DataflowStats(**record["stats"]),
+            layer_name=record["layer_name"],
+            dram=(
+                None
+                if record["dram"] is None
+                else DramTrafficCounter(**record["dram"])
+            ),
+        )
 
 
 @dataclass
@@ -131,6 +242,32 @@ class ModelSimResult:
         for layer in self.layer_results:
             histogram[layer.dataflow] = histogram.get(layer.dataflow, 0) + 1
         return histogram
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "model_result",
+            "accelerator": self.accelerator,
+            "model_name": self.model_name,
+            "layer_results": [layer.to_record() for layer in self.layer_results],
+            "explicit_conversions": int(self.explicit_conversions),
+            "conversion_bytes": int(self.conversion_bytes),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ModelSimResult":
+        """Inverse of :meth:`to_record`."""
+        check_record_schema(record, "model_result")
+        return cls(
+            accelerator=record["accelerator"],
+            model_name=record["model_name"],
+            layer_results=[
+                LayerSimResult.from_record(layer) for layer in record["layer_results"]
+            ],
+            explicit_conversions=record["explicit_conversions"],
+            conversion_bytes=record["conversion_bytes"],
+        )
 
 
 def speedup(baseline_cycles: float, cycles: float) -> float:

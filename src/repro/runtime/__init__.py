@@ -13,7 +13,7 @@ See the README's "Batched simulation runtime" section for the job model, the
 cache location and the environment knobs.
 """
 
-from repro.runtime.cache import MISS, ResultCache, default_cache_dir
+from repro.runtime.cache import MISS, PruneReport, ResultCache, default_cache_dir
 from repro.runtime.jobs import (
     CACHE_SCHEMA_VERSION,
     CPU_DESIGN,
@@ -33,6 +33,7 @@ from repro.runtime.runner import (
 
 __all__ = [
     "MISS",
+    "PruneReport",
     "ResultCache",
     "default_cache_dir",
     "CACHE_SCHEMA_VERSION",

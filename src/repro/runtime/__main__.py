@@ -1,34 +1,30 @@
-"""Maintenance CLI for the on-disk result cache.
+"""Deprecated maintenance CLI, kept as a shim over ``python -m repro cache``.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.runtime stats   # entry count + size
-    PYTHONPATH=src python -m repro.runtime clear   # drop every entry
+    PYTHONPATH=src python -m repro.runtime stats   # = python -m repro cache stats
+    PYTHONPATH=src python -m repro.runtime clear   # = python -m repro cache clear
 
-Both honour ``REPRO_CACHE_DIR``.
+Both honour ``REPRO_CACHE_DIR``.  New code should call the unified CLI
+(:mod:`repro.cli`), which also offers ``cache prune``.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.runtime.cache import ResultCache
-
 
 def main(argv: list[str]) -> int:
+    from repro.cli import main as cli_main
+
     command = argv[0] if argv else "stats"
-    cache = ResultCache()
-    if command == "stats":
-        print(f"cache directory : {cache.directory}")
-        print(f"entries         : {cache.entry_count()}")
-        print(f"size            : {cache.size_bytes() / 1e6:.2f} MB")
-        return 0
-    if command == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} entries from {cache.directory}")
-        return 0
-    print(f"unknown command {command!r}; expected 'stats' or 'clear'", file=sys.stderr)
-    return 2
+    if command not in ("stats", "clear"):
+        print(
+            f"unknown command {command!r}; expected 'stats' or 'clear'",
+            file=sys.stderr,
+        )
+        return 2
+    return cli_main(["cache", command])
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ import os
 import pickle
 import tempfile
 from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 
 #: Sentinel distinguishing "not cached" from a cached ``None``.
@@ -39,6 +40,16 @@ MEMORY_ENTRY_LIMIT = 4096
 def default_cache_dir() -> Path:
     """The cache directory the environment asks for."""
     return Path(os.environ.get("REPRO_CACHE_DIR") or ".repro_cache")
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of :meth:`ResultCache.prune`."""
+
+    removed_entries: int
+    freed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
 
 
 class ResultCache:
@@ -122,6 +133,44 @@ class ResultCache:
             for path in self.directory.glob("*/*.tmp"):
                 path.unlink(missing_ok=True)
         return removed
+
+    def prune(self, max_size_bytes: int) -> PruneReport:
+        """Evict least-recently-written entries until the disk level fits.
+
+        Entries are ranked by file mtime (ties broken by key for
+        determinism) and the oldest are deleted first until the remaining
+        entries total at most ``max_size_bytes``.  Writes refresh an entry's
+        mtime (``put`` replaces the file), so mtime order approximates LRU
+        for the sweep workloads that funnel through the runner.
+        """
+        if max_size_bytes < 0:
+            raise ValueError("max_size_bytes must be non-negative")
+        entries = []
+        if self.directory.is_dir():
+            for path in self.directory.glob("*/*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # concurrently removed
+                entries.append((stat.st_mtime, path.stem, path, stat.st_size))
+        entries.sort(key=lambda entry: entry[:2])
+        total = sum(entry[3] for entry in entries)
+        removed = 0
+        freed = 0
+        for _mtime, key, path, size in entries:
+            if total <= max_size_bytes:
+                break
+            path.unlink(missing_ok=True)
+            self._memory.pop(key, None)
+            total -= size
+            freed += size
+            removed += 1
+        return PruneReport(
+            removed_entries=removed,
+            freed_bytes=freed,
+            remaining_entries=len(entries) - removed,
+            remaining_bytes=total,
+        )
 
     def entry_count(self) -> int:
         """Number of entries currently on disk."""

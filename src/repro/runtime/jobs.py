@@ -33,7 +33,9 @@ from repro.workloads.layers import LayerSpec, materialize_layer
 
 #: Bump whenever the meaning of a cached result changes (simulator semantics,
 #: result record layout, ...).  Stale cache entries then simply never hit.
-CACHE_SCHEMA_VERSION = 1
+#: v2: ``LayerSimResult`` gained the declared ``dram`` field and the
+#: JSON-record contract of :mod:`repro.metrics.results`.
+CACHE_SCHEMA_VERSION = 2
 
 #: The four hardware designs of the paper's comparison, in plot order.
 DESIGN_ORDER = ("SIGMA-like", "SpArch-like", "GAMMA-like", "Flexagon")

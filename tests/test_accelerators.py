@@ -62,11 +62,38 @@ class TestFixedDataflowBaselines:
         assert result.accelerator == acc.name
         assert result.total_cycles > 0
 
-    def test_unsupported_dataflow_rejected(self):
+    def test_unsupported_forced_dataflow_rejected(self):
         a, b = pair(seed=4)
         acc = SigmaLikeAccelerator(CONFIG)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="forced by the caller"):
             acc.run_layer(a, b, dataflow=Dataflow.GUST_M)
+
+    def test_unsupported_policy_dataflow_rejected(self):
+        """Regression: a dataflow from the design's *own* selection policy is
+        validated too — a buggy or misconfigured policy (e.g. a custom mapper
+        handed to Flexagon) must fail loudly, not silently run an illegal
+        configuration on the engine."""
+
+        class BrokenPolicy(SigmaLikeAccelerator):
+            def choose_dataflow(self, a, b, **kwargs):
+                return Dataflow.GUST_M  # not an Inner-Product variant
+
+        a, b = pair(seed=5)
+        with pytest.raises(ValueError, match="choose_dataflow"):
+            BrokenPolicy(CONFIG).run_layer(a, b)
+
+    def test_flexagon_validates_a_custom_mappers_choice(self):
+        """Same regression at the Flexagon level: a mapper returning a value
+        outside the design's supported set is caught before execution."""
+
+        class BadMapper:
+            def select(self, a, b, **kwargs):
+                return "not-a-dataflow"
+
+        a, b = pair(seed=6)
+        accelerator = FlexagonAccelerator(CONFIG, mapper=BadMapper())
+        with pytest.raises(ValueError, match="does not support"):
+            accelerator.run_layer(a, b)
 
 
 class TestFlexagon:

@@ -197,6 +197,71 @@ class TestResultCache:
         assert cache.get(keys[0]) == 0
 
 
+class TestResultCachePrune:
+    """``prune(max_size_bytes)`` evicts least-recently-written entries first."""
+
+    @staticmethod
+    def _filled_cache(tmp_path, count=4):
+        cache = ResultCache(tmp_path)
+        keys = [f"{i:02d}" * 32 for i in range(count)]
+        for age, key in enumerate(keys):
+            cache.put(key, {"payload": "x" * 1000, "key": key})
+            # Pin distinct mtimes: keys[0] is the oldest, keys[-1] the newest.
+            path = cache.path_for(key)
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        return cache, keys
+
+    def test_evicts_oldest_entries_first(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        entry_size = cache.size_bytes() // len(keys)
+        report = cache.prune(2 * entry_size)
+        assert report.removed_entries == 2
+        assert report.remaining_entries == 2
+        assert cache.get(keys[0]) is MISS and cache.get(keys[1]) is MISS
+        assert cache.get(keys[2]) is not MISS and cache.get(keys[3]) is not MISS
+
+    def test_rewriting_refreshes_an_entrys_rank(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        # Rewrite the oldest entry: it becomes the newest and must survive.
+        cache.put(keys[0], {"payload": "x" * 1000, "key": keys[0]})
+        entry_size = cache.size_bytes() // len(keys)
+        cache.prune(entry_size)
+        assert cache.get(keys[0]) is not MISS
+        assert cache.get(keys[1]) is MISS
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        report = cache.prune(0)
+        assert report.removed_entries == len(keys)
+        assert report.remaining_entries == 0
+        assert report.remaining_bytes == 0
+        assert cache.entry_count() == 0
+
+    def test_prune_within_budget_removes_nothing(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        report = cache.prune(cache.size_bytes())
+        assert report.removed_entries == 0
+        assert report.freed_bytes == 0
+        assert cache.entry_count() == len(keys)
+
+    def test_pruned_entries_leave_the_memory_level_too(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        assert keys[0] in cache._memory
+        cache.prune(0)
+        assert keys[0] not in cache._memory
+
+    def test_report_accounts_for_bytes(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        before = cache.size_bytes()
+        report = cache.prune(before // 2)
+        assert report.freed_bytes + report.remaining_bytes == before
+        assert report.remaining_bytes == cache.size_bytes()
+
+    def test_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            ResultCache(tmp_path).prune(-1)
+
+
 # ----------------------------------------------------------------------
 # BatchRunner behaviour
 # ----------------------------------------------------------------------

@@ -60,12 +60,17 @@ def session(settings):
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Report what the simulation runtime did for this benchmark session."""
+    from repro.engine_vec import resolve_engine_backend
+
     stats = default_runner().stats
     if stats.submitted == 0:
         return
     terminalreporter.write_sep("-", "repro.runtime job summary")
     terminalreporter.write_line(
         "   ".join(f"{name}: {value}" for name, value in stats.as_row().items())
+        # BENCH trajectories must be attributable to the backend that
+        # produced them (REPRO_ENGINE; both backends are bit-equivalent).
+        + f"   engine backend: {resolve_engine_backend()}"
     )
 
 

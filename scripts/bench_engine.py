@@ -1,0 +1,129 @@
+"""Timed engine-backend benchmark: fig12 + fig15 under both backends.
+
+Runs the figure suite cold (no result cache, serial executor, fresh process
+memos per backend) with the reference and the vectorized engine backend,
+records per-backend wall-clock and the speedup in ``BENCH_engine.json``, and
+— in ``--check`` mode — fails when the vectorized backend has regressed by
+more than 20% against the committed baseline *speedup* (a machine-relative
+quantity, so the check is portable across hosts of different absolute speed).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_engine.py                   # record
+    PYTHONPATH=src python scripts/bench_engine.py --check BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+#: Backend-speedup fraction below the committed baseline that fails --check.
+#: The ratio is machine-*relative* but not perfectly machine-*invariant*
+#: (pure-Python and NumPy performance scale differently across interpreter
+#: versions and CPUs), so ``REPRO_BENCH_TOLERANCE`` lets an operator widen
+#: the floor without a code change if a runner generation proves noisier.
+REGRESSION_TOLERANCE = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.8"))
+
+SUITE = ("fig12", "fig15")
+
+
+def run_suite(engine: str, budget: float, max_layers: int) -> float:
+    """Cold wall-clock seconds of the figure suite under one backend."""
+    from repro.api import Session
+    from repro.experiments.settings import default_settings
+    from repro.runtime import BatchRunner
+    from repro.workloads.layers import _materialize_cached
+
+    # Both backends run in this process; drop the operand memo so neither
+    # inherits warmed layers from the other and the comparison stays cold.
+    _materialize_cached.cache_clear()
+    settings = default_settings(
+        max_dense_macs=budget, max_layers_per_model=max_layers, engine=engine
+    )
+    session = Session(settings, runner=BatchRunner(parallel=False, cache=None))
+    start = time.perf_counter()
+    for figure in SUITE:
+        session.figure(figure)
+    return time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", type=float, default=2e6,
+        help="per-layer dense-MAC budget (default: the benchmark harness's 2e6)",
+    )
+    parser.add_argument(
+        "--max-layers", type=int, default=8,
+        help="sampled layers per model (default: the benchmark harness's 8)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="where to write the measurement record (default: "
+        "BENCH_engine.json when recording, bench-measured.json with --check "
+        "so the committed baseline is never clobbered)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a committed baseline record and exit non-zero "
+        "on a >20%% speedup regression",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed runs per backend; the minimum is recorded, so one noisy "
+        "sample (shared CI runners!) cannot fail the regression check",
+    )
+    args = parser.parse_args(argv)
+    output = args.output or ("bench-measured.json" if args.check else "BENCH_engine.json")
+    # Load the baseline before any writing: with identical paths the check
+    # would otherwise compare the fresh measurement against itself.
+    baseline = json.loads(Path(args.check).read_text()) if args.check else None
+
+    record = {
+        "suite": list(SUITE),
+        "max_dense_macs": args.budget,
+        "max_layers_per_model": args.max_layers,
+        "executor": "serial",
+        "cache": "cold (disabled)",
+        "repeats": args.repeats,
+    }
+    for engine in ("reference", "vectorized"):
+        seconds = min(
+            run_suite(engine, args.budget, args.max_layers)
+            for _ in range(max(1, args.repeats))
+        )
+        record[f"{engine}_seconds"] = round(seconds, 3)
+        print(f"{engine:10s} {seconds:8.3f} s (best of {args.repeats})", file=sys.stderr)
+    record["speedup"] = round(
+        record["reference_seconds"] / record["vectorized_seconds"], 3
+    )
+    print(f"speedup    {record['speedup']:8.3f} x", file=sys.stderr)
+
+    Path(output).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+
+    if baseline is not None:
+        floor = REGRESSION_TOLERANCE * baseline["speedup"]
+        if record["speedup"] < floor:
+            print(
+                f"FAIL: measured speedup {record['speedup']}x is below "
+                f"{REGRESSION_TOLERANCE:.0%} of the committed baseline "
+                f"{baseline['speedup']}x (floor {floor:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: speedup {record['speedup']}x >= floor {floor:.2f}x "
+            f"(baseline {baseline['speedup']}x)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

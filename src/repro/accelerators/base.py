@@ -22,9 +22,14 @@ class Accelerator(abc.ABC):
     #: Human-readable name used in result records and benchmark tables.
     name: str = "accelerator"
 
-    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        *,
+        engine: str | None = None,
+    ) -> None:
         self.config = config or default_config()
-        self.engine = SpmspmEngine(self.config)
+        self.engine = SpmspmEngine(self.config, backend=engine)
 
     # ------------------------------------------------------------------
     @property

@@ -134,18 +134,12 @@ class CpuMklLikeBaseline:
 
 
 def _output_nnz(a_csr: CompressedMatrix, b_csr: CompressedMatrix) -> int:
-    """Exact nnz of C = A x B via a structure-only Gustavson pass."""
-    b_indices = np.asarray(b_csr.indices)
-    b_pointers = np.asarray(b_csr.pointers)
-    total = 0
-    for m in range(a_csr.nrows):
-        start, end = int(a_csr.pointers[m]), int(a_csr.pointers[m + 1])
-        if start == end:
-            continue
-        ks = a_csr.indices[start:end]
-        pieces = [b_indices[int(b_pointers[k]) : int(b_pointers[k + 1])] for k in ks]
-        if len(pieces) == 1:
-            total += len(pieces[0])
-        else:
-            total += len(np.unique(np.concatenate(pieces)))
-    return total
+    """Exact nnz of C = A x B via a structure-only Gustavson pass.
+
+    Delegates to the engine's vectorized (and per-operand-pair memoized)
+    per-row counts — the CPU baseline and the accelerator jobs of a sweep
+    simulate the same operands, so the pass is shared, not repeated.
+    """
+    from repro.accelerators.engine import output_row_nnz
+
+    return int(output_row_nnz(a_csr, b_csr).sum())

@@ -174,6 +174,7 @@ class SweepSpec:
                         scale=scale,
                         seed=seed,
                         layer_name=spec.name,
+                        engine=settings.engine,
                     )
                 )
                 meta.append({"model": model_name, "layer": spec.name, "design": design})

@@ -126,7 +126,14 @@ class Session:
         """Simulate one explicit operand pair on each design, in order."""
         config = config or self.settings.config
         jobs = [
-            SimJob(design=design, config=config, a=a, b=b, layer_name=layer_name)
+            SimJob(
+                design=design,
+                config=config,
+                a=a,
+                b=b,
+                layer_name=layer_name,
+                engine=self.settings.engine,
+            )
             for design in designs
         ]
         return self.run(jobs)

@@ -27,6 +27,11 @@ class CacheStats:
     accesses: int = 0
     hits: int = 0
     misses: int = 0
+    #: Bytes fetched from DRAM on misses.  Updated by whoever produces the
+    #: miss counts: :meth:`StreamingCache.access_byte` for walked accesses,
+    #: and the engine's closed-form Inner Product pass, which accounts its
+    #: analytically-derived misses directly.
+    miss_bytes: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -37,11 +42,6 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Fraction of accesses that hit."""
         return 1.0 - self.miss_rate if self.accesses else 0.0
-
-    @property
-    def miss_bytes(self) -> int:
-        """Filled later by the owner: bytes fetched from DRAM on misses."""
-        return getattr(self, "_miss_bytes", 0)
 
 
 class StreamingCache:
@@ -120,6 +120,7 @@ class StreamingCache:
             self.stats.hits += 1
             return True
         self.stats.misses += 1
+        self.stats.miss_bytes += self.line_bytes
         ways[line_addr] = None
         if len(ways) > self.associativity:
             ways.popitem(last=False)

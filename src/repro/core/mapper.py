@@ -160,9 +160,13 @@ class OracleMapper:
         self,
         config: AcceleratorConfig | None = None,
         runner: "object | None" = None,
+        *,
+        engine: str | None = None,
     ) -> None:
         self.config = config or default_config()
         self._runner = runner
+        #: Engine backend the candidate trials run with (``None``: env default).
+        self.engine = engine
 
     @property
     def runner(self):
@@ -187,7 +191,14 @@ class OracleMapper:
         candidates = _candidate_variants(activation_layout, produced_layout)
         trials = self.runner.run(
             [
-                SimJob(design=ENGINE_DESIGN, config=self.config, a=a, b=b, dataflow=dataflow)
+                SimJob(
+                    design=ENGINE_DESIGN,
+                    config=self.config,
+                    a=a,
+                    b=b,
+                    dataflow=dataflow,
+                    engine=self.engine,
+                )
                 for dataflow in candidates
             ]
         )

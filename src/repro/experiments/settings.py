@@ -17,6 +17,7 @@ import os
 from dataclasses import dataclass, field, replace
 
 from repro.arch.config import AcceleratorConfig, default_config
+from repro.engine_vec import DEFAULT_ENGINE_BACKEND, validate_engine_backend
 from repro.workloads.layers import LayerSpec, round_up_pow2, scale_for_budget
 
 
@@ -34,6 +35,13 @@ class ExperimentSettings:
     max_layers_per_model: int = 10
     #: Random-seed salt for synthetic matrix generation.
     seed_salt: int = 0
+    #: SpMSpM engine backend every simulation job runs with
+    #: (``"vectorized"`` or ``"reference"``).  The two are bit-equivalent;
+    #: the reference backend is kept for auditing the vectorized kernels.
+    engine: str = DEFAULT_ENGINE_BACKEND
+
+    def __post_init__(self) -> None:
+        validate_engine_backend(self.engine)
 
     # ------------------------------------------------------------------
     def to_record(self) -> dict[str, object]:
@@ -43,6 +51,7 @@ class ExperimentSettings:
             "max_dense_macs": self.max_dense_macs,
             "max_layers_per_model": self.max_layers_per_model,
             "seed_salt": self.seed_salt,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -109,7 +118,9 @@ def default_settings(**overrides) -> ExperimentSettings:
     """Settings used by the benchmark harness.
 
     ``REPRO_FULL_SCALE=1`` switches to unscaled, full-size layers;
-    ``REPRO_MAX_DENSE_MACS`` overrides the per-layer MAC budget.
+    ``REPRO_MAX_DENSE_MACS`` overrides the per-layer MAC budget;
+    ``REPRO_ENGINE`` selects the engine backend
+    (``vectorized`` — the default — or ``reference``).
     """
     kwargs: dict = {}
     if os.environ.get("REPRO_FULL_SCALE") == "1":
@@ -120,5 +131,8 @@ def default_settings(**overrides) -> ExperimentSettings:
     env_layers = os.environ.get("REPRO_MAX_LAYERS")
     if env_layers:
         kwargs["max_layers_per_model"] = int(env_layers)
+    env_engine = os.environ.get("REPRO_ENGINE")
+    if env_engine:
+        kwargs["engine"] = env_engine
     kwargs.update(overrides)
     return ExperimentSettings(**kwargs)

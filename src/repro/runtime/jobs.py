@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass
 
 from repro.arch.config import AcceleratorConfig
 from repro.dataflows.base import Dataflow
+from repro.engine_vec import validate_engine_backend
 from repro.sparse.formats import CompressedMatrix
 from repro.workloads.layers import LayerSpec, materialize_layer
 
@@ -59,6 +60,7 @@ def build_design(
     config: AcceleratorConfig,
     *,
     trial_cache: object = SHARED_TRIAL_CACHE,
+    engine: str | None = None,
 ):
     """Instantiate one hardware design; Flexagon gets the oracle mapper.
 
@@ -76,6 +78,11 @@ def build_design(
     (the live object in-process, the directory across a pool boundary) so
     nested trial work can never read or write a cache the caller did not
     choose.
+
+    ``engine`` selects the :class:`~repro.accelerators.engine.SpmspmEngine`
+    execution backend (``"vectorized"`` / ``"reference"``; ``None`` defers to
+    ``REPRO_ENGINE`` and then the default).  Both backends are bit-equivalent,
+    so the choice never affects results — only how fast they are produced.
     """
     from repro.accelerators import (
         FlexagonAccelerator,
@@ -88,7 +95,7 @@ def build_design(
         from repro.core.mapper import OracleMapper
 
         if isinstance(trial_cache, str) and trial_cache == SHARED_TRIAL_CACHE:
-            mapper = OracleMapper(config)
+            mapper = OracleMapper(config, engine=engine)
         else:
             from repro.runtime.cache import ResultCache
             from repro.runtime.runner import BatchRunner
@@ -96,15 +103,17 @@ def build_design(
             if trial_cache is not None and not isinstance(trial_cache, ResultCache):
                 trial_cache = ResultCache(trial_cache)
             mapper = OracleMapper(
-                config, runner=BatchRunner(parallel=False, cache=trial_cache)
+                config,
+                runner=BatchRunner(parallel=False, cache=trial_cache),
+                engine=engine,
             )
-        return FlexagonAccelerator(config, mapper=mapper)
+        return FlexagonAccelerator(config, mapper=mapper, engine=engine)
     classes = {
         "SIGMA-like": SigmaLikeAccelerator,
         "SpArch-like": SparchLikeAccelerator,
         "GAMMA-like": GammaLikeAccelerator,
     }
-    return classes[design](config)
+    return classes[design](config, engine=engine)
 
 
 @dataclass(frozen=True)
@@ -128,12 +137,20 @@ class SimJob:
     layer_name: str = ""
     a: CompressedMatrix | None = None
     b: CompressedMatrix | None = None
+    #: Engine backend the job executes with (``None``: ``REPRO_ENGINE`` /
+    #: default).  Deliberately **excluded** from :meth:`key`: the backends
+    #: are bit-equivalent (enforced by the equivalence suite), so cached
+    #: results are shared between them and a backend switch can never
+    #: invalidate or fork the cache.
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.design not in _KNOWN_DESIGNS:
             raise ValueError(
                 f"unknown design {self.design!r}; expected one of {_KNOWN_DESIGNS}"
             )
+        if self.engine is not None:
+            validate_engine_backend(self.engine)
         has_operands = self.a is not None and self.b is not None
         if (self.a is None) != (self.b is None):
             raise ValueError("operands a and b must be given together")
@@ -204,10 +221,12 @@ def execute_job(job: SimJob, *, trial_cache: object = SHARED_TRIAL_CACHE):
     if job.design == ENGINE_DESIGN:
         from repro.accelerators.engine import SpmspmEngine
 
-        return SpmspmEngine(job.config).run_layer(
+        return SpmspmEngine(job.config, backend=job.engine).run_layer(
             job.dataflow, a, b, layer_name=job.layer_name
         )
-    accelerator = build_design(job.design, job.config, trial_cache=trial_cache)
+    accelerator = build_design(
+        job.design, job.config, trial_cache=trial_cache, engine=job.engine
+    )
     return accelerator.run_layer(
         a, b, dataflow=job.dataflow, layer_name=job.layer_name
     )

@@ -10,6 +10,7 @@ which is how every dataflow in the accelerator consumes it.
 from __future__ import annotations
 
 import enum
+import weakref
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -21,6 +22,22 @@ from repro.sparse.fiber import Element, Fiber
 ELEMENT_BYTES = 4
 #: Bytes used by one pointer entry in the pointer vector.
 POINTER_BYTES = 4
+
+
+def _frozen(array_like, dtype) -> np.ndarray:
+    """A read-only int/float array over ``array_like``, without copying.
+
+    When ``asarray`` had to convert, the fresh array is simply frozen; when
+    the caller's own ndarray came through unchanged, a zero-copy *view* is
+    frozen instead, so the caller's handle keeps its writability (freezing
+    an object the constructor does not own would be a visible side effect).
+    """
+    arr = np.asarray(array_like, dtype=dtype)
+    if arr.flags.writeable:
+        if arr is array_like:
+            arr = arr.view()
+        arr.setflags(write=False)
+    return arr
 
 
 class Layout(enum.Enum):
@@ -73,16 +90,23 @@ class CompressedMatrix:
         pointers: Sequence[int],
         indices: Sequence[int],
         values: Sequence[float],
+        *,
+        validate: bool = True,
     ) -> None:
         if nrows < 0 or ncols < 0:
             raise ValueError("matrix dimensions must be non-negative")
         self.nrows = int(nrows)
         self.ncols = int(ncols)
         self.layout = layout
-        self.pointers = np.asarray(pointers, dtype=np.int64)
-        self.indices = np.asarray(indices, dtype=np.int64)
-        self.values = np.asarray(values, dtype=np.float64)
-        self._validate()
+        # Matrices are immutable by contract: instances (and zero-copy
+        # layout/transpose views sharing these arrays) are memoized and
+        # shared across jobs, so an in-place edit would silently corrupt
+        # other results.  Freezing turns that into an immediate error.
+        self.pointers = _frozen(pointers, np.int64)
+        self.indices = _frozen(indices, np.int64)
+        self.values = _frozen(values, np.float64)
+        if validate:
+            self._validate()
 
     # ------------------------------------------------------------------
     # Validation and basic properties
@@ -104,10 +128,14 @@ class CompressedMatrix:
             self.indices.min() < 0 or self.indices.max() >= minor
         ):
             raise ValueError("minor indices out of range")
-        # Coordinates within each fiber must be strictly increasing.
-        for start, end in zip(self.pointers[:-1], self.pointers[1:]):
-            segment = self.indices[start:end]
-            if len(segment) > 1 and np.any(np.diff(segment) <= 0):
+        # Coordinates within each fiber must be strictly increasing: a
+        # coordinate may only be <= its predecessor where a new fiber starts.
+        if len(self.indices) > 1:
+            fiber_of = np.repeat(
+                np.arange(major, dtype=np.int64), np.diff(self.pointers)
+            )
+            within_fiber = fiber_of[1:] == fiber_of[:-1]
+            if np.any(within_fiber & (np.diff(self.indices) <= 0)):
                 raise ValueError("fiber coordinates must be strictly increasing")
 
     @property
@@ -227,9 +255,17 @@ class CompressedMatrix:
         This is the *explicit format conversion* the paper's inter-layer
         dataflow mechanism avoids in hardware; in software we provide it both
         as a utility and to model the cost of explicit conversions.
+
+        Matrices are treated as immutable once built, so the converted view
+        is memoized per instance: the engine (and the mapper's candidate
+        trials) can re-request the CSR/CSC view of the same operand without
+        paying the conversion again.
         """
         if layout is self.layout:
             return self
+        return cached_derived(layout.value, lambda: self._convert_layout(layout), self)
+
+    def _convert_layout(self, layout: Layout) -> "CompressedMatrix":
         major_dim = self.major_dim
         counts = np.diff(self.pointers)
         majors = np.repeat(np.arange(major_dim, dtype=np.int64), counts)
@@ -246,8 +282,12 @@ class CompressedMatrix:
 
         A CSR matrix transposed becomes a CSC matrix with rows and columns
         swapped but identical pointer/index/value vectors, which is why the
-        paper can treat CSR and CSC with the same control logic.
+        paper can treat CSR and CSC with the same control logic.  The view is
+        zero-copy (shared storage arrays) and memoized per instance.
         """
+        return cached_derived("transposed", self._transpose, self)
+
+    def _transpose(self) -> "CompressedMatrix":
         return CompressedMatrix(
             nrows=self.ncols,
             ncols=self.nrows,
@@ -255,6 +295,8 @@ class CompressedMatrix:
             pointers=self.pointers,
             indices=self.indices,
             values=self.values,
+            # Shares this matrix's (already validated) storage arrays.
+            validate=False,
         )
 
     def __eq__(self, other: object) -> bool:
@@ -273,6 +315,39 @@ class CompressedMatrix:
             f"CompressedMatrix(shape={self.shape}, layout={self.layout}, "
             f"nnz={self.nnz}, density={self.density:.4f})"
         )
+
+
+# ----------------------------------------------------------------------
+# Per-instance derived-value memoization
+# ----------------------------------------------------------------------
+#: ``(kind, id(owner), ...) -> ((weakref(owner), ...), value)``.  Keyed by
+#: ``id`` because ``CompressedMatrix`` defines ``__eq__`` without
+#: ``__hash__``; the weakref callbacks evict an entry when any owner is
+#: collected, so a recycled id can never alias.  Values keep their owners
+#: alive only through this table, and the table never outlives the owners.
+_DERIVED_CACHE: dict[tuple, tuple] = {}
+
+
+def cached_derived(kind: str, build, *owners):
+    """Memoize ``build()`` per live ``owners`` instance tuple.
+
+    Shared by the layout/transpose views below and by derived per-pair
+    structure elsewhere (e.g. the engine's output-row counts), so the
+    subtle id+weakref eviction logic exists exactly once.
+    """
+    key = (kind,) + tuple(id(owner) for owner in owners)
+    entry = _DERIVED_CACHE.get(key)
+    if entry is not None and all(
+        ref() is owner for ref, owner in zip(entry[0], owners)
+    ):
+        return entry[1]
+    value = build()
+    evict = lambda _ref, key=key: _DERIVED_CACHE.pop(key, None)  # noqa: E731
+    _DERIVED_CACHE[key] = (
+        tuple(weakref.ref(owner, evict) for owner in owners),
+        value,
+    )
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -378,7 +453,11 @@ def matrix_from_arrays(
     counts = np.bincount(major, minlength=major_dim)
     pointers = np.zeros(major_dim + 1, dtype=np.int64)
     np.cumsum(counts, out=pointers[1:])
-    return CompressedMatrix(nrows, ncols, layout, pointers, minor, summed)
+    # The lexsort + dedup above produce canonical storage (in-range, grouped,
+    # strictly increasing within fibers), so re-validation is redundant.
+    return CompressedMatrix(
+        nrows, ncols, layout, pointers, minor, summed, validate=False
+    )
 
 
 def matrix_from_fibers(

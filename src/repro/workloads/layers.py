@@ -13,6 +13,7 @@ working-set-to-capacity ratios that drive the paper's trends.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from dataclasses import dataclass, replace
 
@@ -117,7 +118,25 @@ def materialize_layer(
 
     ``scale`` shrinks (or enlarges) every dimension; sparsities are kept, so
     the compressed sizes scale quadratically with ``scale``.
+
+    Generation is deterministic in its arguments, so a small LRU memo shares
+    the operand pair between the consecutive jobs of a sweep grid that
+    simulate the same layer on different designs — which also lets the
+    engine's per-pair derived-structure memos (layout views, output-row
+    counts) hit across those jobs.  Matrices are treated as immutable
+    throughout the code base, so sharing is safe.
     """
+    return _materialize_cached(spec, scale, seed, layout_a, layout_b)
+
+
+@functools.lru_cache(maxsize=4)
+def _materialize_cached(
+    spec: "LayerSpec",
+    scale: float,
+    seed: int | None,
+    layout_a: Layout,
+    layout_b: Layout,
+) -> tuple[CompressedMatrix, CompressedMatrix]:
     scaled = spec.scaled(scale)
     base_seed = spec.deterministic_seed() if seed is None else seed
     a = random_sparse(

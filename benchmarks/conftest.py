@@ -62,12 +62,22 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Report what the simulation runtime did for this benchmark session."""
     from repro.engine_vec import resolve_engine_backend
 
-    stats = default_runner().stats
+    runner = default_runner()
+    stats = runner.stats
     if stats.submitted == 0:
         return
     terminalreporter.write_sep("-", "repro.runtime job summary")
     terminalreporter.write_line(
         "   ".join(f"{name}: {value}" for name, value in stats.as_row().items())
+    )
+    executor = (
+        f"parallel x{runner.max_workers} ({runner.pool_mode} pool, "
+        f"{runner.schedule} schedule)"
+        if runner.parallel
+        else "serial"
+    )
+    terminalreporter.write_line(
+        f"executor: {executor}"
         # BENCH trajectories must be attributable to the backend that
         # produced them (REPRO_ENGINE; both backends are bit-equivalent).
         + f"   engine backend: {resolve_engine_backend()}"

@@ -1,0 +1,247 @@
+"""Timed runtime benchmark: the streaming persistent-pool runtime vs legacy.
+
+Measures the cold parallel fig12+fig15 wall-clock twice, in fresh
+subprocesses with fresh result caches:
+
+* **baseline** — the pre-streaming runtime reconstructed through its compat
+  knobs: one ephemeral process pool per batch (``REPRO_POOL=ephemeral``),
+  submission-order static chunking (``REPRO_SCHED=fifo``) and no
+  engine-result sharing between designs (``REPRO_SHARE_ENGINE=0``).
+* **streaming** — the defaults: persistent worker pool, cost-aware
+  longest-first grouped scheduling, streaming cache writes and shared
+  content-addressed engine runs.
+
+It also measures cache-scan throughput (keys/second) of the batched
+:meth:`ResultCache.get_many` pre-dispatch scan against the legacy per-key
+``get`` loop over a half-warm key set.
+
+Records everything in ``BENCH_runtime.json``; in ``--check`` mode it fails
+when the measured wall-clock speedup drops below 80% of the committed
+baseline *speedup* (a machine-relative quantity, so the check is portable
+across hosts of different absolute speed).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_runtime.py                    # record
+    PYTHONPATH=src python scripts/bench_runtime.py --check BENCH_runtime.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: Speedup fraction below the committed baseline that fails --check.  The
+#: ratio is machine-*relative* but not perfectly machine-*invariant* (core
+#: counts change how much the scheduler can matter), so
+#: ``REPRO_BENCH_TOLERANCE`` lets an operator widen the floor without a code
+#: change if a runner generation proves noisier.
+REGRESSION_TOLERANCE = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.8"))
+
+SUITE = ("fig12", "fig15")
+
+#: Environment overrides reconstructing the pre-streaming runtime.
+BASELINE_ENV = {
+    "REPRO_POOL": "ephemeral",
+    "REPRO_SCHED": "fifo",
+    "REPRO_SHARE_ENGINE": "0",
+}
+
+_CHILD_CODE = """
+import sys, time
+from repro.api import Session
+from repro.experiments.settings import default_settings
+from repro.runtime import BatchRunner, ResultCache
+
+budget, max_layers, workers, cache_dir = (
+    float(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3]), sys.argv[4]
+)
+settings = default_settings(max_dense_macs=budget, max_layers_per_model=max_layers)
+session = Session(
+    settings,
+    runner=BatchRunner(parallel=True, max_workers=workers, cache=ResultCache(cache_dir)),
+)
+start = time.perf_counter()
+for figure in ("fig12", "fig15"):
+    session.figure(figure)
+print(time.perf_counter() - start)
+"""
+
+
+def run_suite(
+    env_overrides: dict[str, str], budget: float, max_layers: int, workers: int
+) -> float:
+    """Cold wall-clock seconds of the figure suite in a fresh subprocess.
+
+    A subprocess per measurement keeps every process-wide amortisation the
+    persistent runtime relies on (worker pool, materialisation memos) inside
+    the measured window, and a fresh cache directory keeps the run cold.
+    """
+    env = dict(os.environ)
+    env.pop("REPRO_POOL", None)
+    env.pop("REPRO_SCHED", None)
+    env.pop("REPRO_SHARE_ENGINE", None)
+    env.update(env_overrides)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    cache_dir = tempfile.mkdtemp(prefix="bench-runtime-cache-")
+    try:
+        proc = subprocess.run(
+            [
+                sys.executable, "-c", _CHILD_CODE,
+                str(budget), str(max_layers), str(workers), cache_dir,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        if proc.returncode != 0:
+            # Surface the child's traceback; CalledProcessError alone would
+            # swallow it and leave a CI failure undiagnosable.
+            sys.stderr.write(proc.stderr)
+            raise subprocess.CalledProcessError(
+                proc.returncode, proc.args, output=proc.stdout, stderr=proc.stderr
+            )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return float(proc.stdout.strip().splitlines()[-1])
+
+
+def bench_cache_scan(num_entries: int = 2048) -> dict[str, float]:
+    """Keys/second of the batched hit scan vs the legacy per-key loop.
+
+    Half the probed keys exist (reads) and half do not (pure scan cost) —
+    the profile of a partially warm sweep.  Fresh cache instances per
+    measurement keep the in-memory blob level cold.
+    """
+    from repro.runtime import ResultCache
+
+    directory = tempfile.mkdtemp(prefix="bench-runtime-scan-")
+    try:
+        cache = ResultCache(directory)
+        present = [f"{i:064x}" for i in range(num_entries)]
+        absent = [f"{i + num_entries:064x}" for i in range(num_entries)]
+        for key in present:
+            cache.put(key, {"cycles": float(len(key))})
+        probe = present + absent
+
+        start = time.perf_counter()
+        found = ResultCache(directory).get_many(probe)
+        batched_seconds = time.perf_counter() - start
+        assert len(found) == num_entries
+
+        legacy = ResultCache(directory)
+        from repro.runtime import MISS
+
+        start = time.perf_counter()
+        hits = sum(legacy.get(key) is not MISS for key in probe)
+        per_key_seconds = time.perf_counter() - start
+        assert hits == num_entries
+        return {
+            "probed_keys": len(probe),
+            "batched_keys_per_second": round(len(probe) / batched_seconds),
+            "per_key_keys_per_second": round(len(probe) / per_key_seconds),
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", type=float, default=2e6,
+        help="per-layer dense-MAC budget (default: the benchmark harness's 2e6)",
+    )
+    parser.add_argument(
+        "--max-layers", type=int, default=8,
+        help="sampled layers per model (default: the benchmark harness's 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width for both modes (default: the committed "
+        "record's width in --check mode so ratios compare like for like, "
+        "else os.cpu_count(), at least 2 so the parallel path is exercised)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="where to write the measurement record (default: "
+        "BENCH_runtime.json when recording, bench-measured.json with --check "
+        "so the committed baseline is never clobbered)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a committed baseline record and exit non-zero "
+        "on a >20%% speedup regression",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed runs per mode; the minimum is recorded, so one noisy "
+        "sample (shared CI runners!) cannot fail the regression check",
+    )
+    args = parser.parse_args(argv)
+    output = args.output or (
+        "bench-measured.json" if args.check else "BENCH_runtime.json"
+    )
+    # Load the baseline before any writing: with identical paths the check
+    # would otherwise compare the fresh measurement against itself.
+    baseline = json.loads(Path(args.check).read_text()) if args.check else None
+    workers = args.workers
+    if workers is None and baseline is not None:
+        # Measure at the committed record's width so the ratios compare
+        # like for like.
+        workers = int(baseline.get("workers", 0)) or None
+    if workers is None:
+        workers = max(2, os.cpu_count() or 1)
+
+    record: dict[str, object] = {
+        "suite": list(SUITE),
+        "max_dense_macs": args.budget,
+        "max_layers_per_model": args.max_layers,
+        "workers": workers,
+        "cache": "cold (fresh directory per run)",
+        "repeats": args.repeats,
+        "baseline_env": dict(BASELINE_ENV),
+    }
+    for mode, overrides in (("baseline", BASELINE_ENV), ("streaming", {})):
+        seconds = min(
+            run_suite(overrides, args.budget, args.max_layers, workers)
+            for _ in range(max(1, args.repeats))
+        )
+        record[f"{mode}_seconds"] = round(seconds, 3)
+        print(f"{mode:10s} {seconds:8.3f} s (best of {args.repeats})", file=sys.stderr)
+    record["speedup"] = round(record["baseline_seconds"] / record["streaming_seconds"], 3)
+    print(f"speedup    {record['speedup']:8.3f} x", file=sys.stderr)
+    record["cache_scan"] = bench_cache_scan()
+    print(f"cache scan {record['cache_scan']}", file=sys.stderr)
+
+    Path(output).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+
+    if baseline is not None:
+        floor = REGRESSION_TOLERANCE * baseline["speedup"]
+        if record["speedup"] < floor:
+            print(
+                f"FAIL: measured speedup {record['speedup']}x is below "
+                f"{REGRESSION_TOLERANCE:.0%} of the committed baseline "
+                f"{baseline['speedup']}x (floor {floor:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: speedup {record['speedup']}x >= floor {floor:.2f}x "
+            f"(baseline {baseline['speedup']}x)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,9 +45,9 @@ class CpuConfig:
     parallel_efficiency: float = 0.6
 
 
-@dataclass
+@dataclass(frozen=True)
 class CpuRunResult:
-    """Outcome of the CPU baseline on one layer."""
+    """Outcome of the CPU baseline on one layer (immutable by contract)."""
 
     cycles: float
     seconds: float
@@ -105,16 +105,17 @@ class CpuMklLikeBaseline:
         )
         effective_cores = max(1.0, cfg.cores * cfg.parallel_efficiency)
         cycles = serial_cycles / effective_cores
-        result = CpuRunResult(
-            cycles=cycles,
-            seconds=cycles / cfg.frequency_hz,
-            stats=stats,
-        )
+        output = None
         if capture_output:
             from repro.sparse.reference import spgemm_reference
 
-            result.output = spgemm_reference(a, b)
-        return result
+            output = spgemm_reference(a, b)
+        return CpuRunResult(
+            cycles=cycles,
+            seconds=cycles / cfg.frequency_hz,
+            stats=stats,
+            output=output,
+        )
 
     def run_model(
         self, layers: list[tuple[CompressedMatrix, CompressedMatrix]]

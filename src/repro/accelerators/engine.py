@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import functools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -117,10 +117,10 @@ class SpmspmEngine:
                 layer_name=layer_name,
                 accelerator_name=accelerator_name,
             )
-            mirrored.dataflow = dataflow
-            if mirrored.output is not None:
-                mirrored.output = mirrored.output.transposed()
-            return mirrored
+            output = mirrored.output
+            if output is not None:
+                output = output.transposed()
+            return replace(mirrored, dataflow=dataflow, output=output)
 
         ctx = self._build_context(dataflow, a, b)
         if self.backend == "vectorized":
@@ -141,7 +141,12 @@ class SpmspmEngine:
             runner(ctx)
 
         ctx.traffic.offchip_bytes = ctx.dram.traffic.total_bytes
-        result = LayerSimResult(
+        output = None
+        if capture_output:
+            output = run_dataflow(
+                dataflow, a, b, num_multipliers=self.config.num_multipliers
+            ).output
+        return LayerSimResult(
             accelerator=accelerator_name,
             dataflow=dataflow,
             cycles=ctx.cycles,
@@ -149,14 +154,10 @@ class SpmspmEngine:
             str_cache_miss_rate=ctx.cache.stats.miss_rate,
             str_cache_accesses=ctx.cache.stats.accesses,
             stats=ctx.stats,
+            output=output,
             layer_name=layer_name,
+            dram=ctx.dram.traffic,  # full off-chip breakdown for the benches
         )
-        result.dram = ctx.dram.traffic  # full off-chip breakdown for the benches
-        if capture_output:
-            result.output = run_dataflow(
-                dataflow, a, b, num_multipliers=self.config.num_multipliers
-            ).output
-        return result
 
     # ------------------------------------------------------------------
     # Context construction

@@ -110,9 +110,14 @@ class Session:
     # ------------------------------------------------------------------
     # Raw job access (the escape hatch down to the runtime layer)
     # ------------------------------------------------------------------
-    def run(self, jobs: list[SimJob]) -> list:
-        """Run a raw job grid through the session's runner."""
-        return self.runner.run(jobs)
+    def run(self, jobs: list[SimJob], on_result=None) -> list:
+        """Run a raw job grid through the session's runner.
+
+        ``on_result(done, total)`` — when given (or configured runner-wide
+        via ``BatchRunner(on_result=...)``) — observes batch progress live:
+        once after the cache scan, then after every result that lands.
+        """
+        return self.runner.run(jobs, on_result=on_result)
 
     def simulate(
         self,
@@ -208,14 +213,20 @@ class Session:
     # Cache maintenance
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, object] | None:
-        """Entry count and byte size of the on-disk cache (``None``: no cache)."""
+        """Disk-cache layout telemetry plus the session runner's counters.
+
+        One batched scan of the cache directory (entry/byte totals, shard
+        count, surviving flat legacy entries, scan wall-clock) under
+        ``"cache"`` keys, and the runner's lifetime counters — including the
+        ``exec_seconds`` / ``cache_scan_seconds`` / ``peak_in_flight``
+        wall-clock telemetry — under ``"runner"``.  ``None`` when the session
+        runs without a cache.
+        """
         if self.cache is None:
             return None
-        return {
-            "directory": str(self.cache.directory),
-            "entries": self.cache.entry_count(),
-            "size_bytes": self.cache.size_bytes(),
-        }
+        report: dict[str, object] = self.cache.stats_report()
+        report["runner"] = self.stats.as_row()
+        return report
 
     def clear_cache(self) -> int:
         """Drop every cache entry; returns how many were removed."""

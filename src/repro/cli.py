@@ -75,6 +75,14 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
     )
+    group.add_argument(
+        "--progress", dest="progress", action="store_true", default=None,
+        help="live N/M job counter on stderr (default: on when stderr is a TTY)",
+    )
+    group.add_argument(
+        "--no-progress", dest="progress", action="store_false",
+        help="suppress the live job counter",
+    )
 
 
 def _add_output_args(parser: argparse.ArgumentParser) -> None:
@@ -104,6 +112,12 @@ def _settings_from_args(args: argparse.Namespace):
     return default_settings(**overrides)
 
 
+def _progress_callback(done: int, total: int) -> None:
+    """Redraw the live ``N/M`` counter on stderr (newline once complete)."""
+    end = "\n" if done >= total else ""
+    print(f"\r[repro] jobs {done}/{total}", end=end, file=sys.stderr, flush=True)
+
+
 def _session_from_args(args: argparse.Namespace) -> Session:
     runner_kwargs: dict = {
         "parallel": False if args.serial else None,
@@ -113,6 +127,11 @@ def _session_from_args(args: argparse.Namespace) -> Session:
         runner_kwargs["cache"] = None
     elif args.cache_dir:
         runner_kwargs["cache"] = ResultCache(args.cache_dir)
+    progress = args.progress
+    if progress is None:
+        progress = sys.stderr.isatty()
+    if progress:
+        runner_kwargs["on_result"] = _progress_callback
     return Session(_settings_from_args(args), runner=BatchRunner(**runner_kwargs))
 
 
@@ -128,7 +147,9 @@ def _report_jobs(session: Session) -> None:
     stats = session.stats
     print(
         f"[repro] jobs: submitted={stats.submitted} cache_hits={stats.cache_hits} "
-        f"executed={stats.executed}",
+        f"executed={stats.executed} exec_seconds={stats.exec_seconds:.3f} "
+        f"cache_scan_seconds={stats.cache_scan_seconds:.3f} "
+        f"peak_in_flight={stats.peak_in_flight}",
         file=sys.stderr,
     )
 
@@ -187,9 +208,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     if args.cache_command == "stats":
+        report = cache.stats_report()
+        entries = report["entries"]
+        scan_seconds = report["scan_seconds"]
+        throughput = entries / scan_seconds if scan_seconds > 0 else 0.0
         print(f"cache directory : {cache.directory}")
-        print(f"entries         : {cache.entry_count()}")
-        print(f"size            : {cache.size_bytes() / 1e6:.2f} MB")
+        print(f"entries         : {entries}")
+        print(f"size            : {report['size_bytes'] / 1e6:.2f} MB")
+        print(f"shard dirs      : {report['shard_dirs']}")
+        print(f"legacy entries  : {report['legacy_entries']} (flat layout; migrated on read)")
+        print(f"scan            : {scan_seconds * 1e3:.2f} ms ({throughput:,.0f} entries/s)")
         return 0
     if args.cache_command == "clear":
         removed = cache.clear()

@@ -11,7 +11,7 @@ chains dataflows so that conversions are never needed (Section 3.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.accelerators.base import Accelerator
 from repro.dataflows.base import Dataflow
@@ -87,7 +87,7 @@ class DnnScheduler:
                 layer_name=layer.name or f"layer{index}",
             )
             if self.track_activation_layout:
-                self._charge_conversion_if_needed(
+                layer_result = self._charge_conversion_if_needed(
                     layer, layer_result, dataflow, activation_layout, result
                 )
             result.layer_results.append(layer_result)
@@ -113,17 +113,32 @@ class DnnScheduler:
         dataflow: Dataflow,
         activation_layout: Layout,
         result: ModelSimResult,
-    ) -> None:
-        """Add the cost of an explicit activation-format conversion, if required."""
+    ) -> LayerSimResult:
+        """Return ``layer_result`` with any explicit-conversion cost folded in.
+
+        Layer records are immutable by contract (they may be shared with the
+        result cache and with duplicate batch slots), so the overhead is
+        charged by building a replacement record with fresh cycle/traffic
+        components instead of mutating the one the accelerator returned.
+        """
         needed = required_activation_layout(dataflow)
         if needed is activation_layout:
-            return
+            return layer_result
         result.explicit_conversions += 1
         if not self.conversion_overhead_enabled:
-            return
+            return layer_result
         cost = explicit_conversion_cost(layer.a)
         result.conversion_bytes += cost.bytes_moved
         config = self.accelerator.config
         extra_cycles = cost.bytes_moved / config.dram_bytes_per_cycle
-        layer_result.cycles.stationary += extra_cycles
-        layer_result.traffic.offchip_bytes += cost.bytes_moved
+        return replace(
+            layer_result,
+            cycles=replace(
+                layer_result.cycles,
+                stationary=layer_result.cycles.stationary + extra_cycles,
+            ),
+            traffic=replace(
+                layer_result.traffic,
+                offchip_bytes=layer_result.traffic.offchip_bytes + cost.bytes_moved,
+            ),
+        )

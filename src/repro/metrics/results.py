@@ -138,9 +138,20 @@ class TrafficBreakdown:
         return cls(**record)
 
 
-@dataclass
+@dataclass(frozen=True)
 class LayerSimResult:
-    """Outcome of simulating one SpMSpM layer on one accelerator."""
+    """Outcome of simulating one SpMSpM layer on one accelerator.
+
+    The record is **immutable by contract**: the dataclass is frozen and
+    every post-construction adjustment (the scheduler folding conversion
+    overhead into a layer, the engine relabelling a mirrored run) goes
+    through :func:`dataclasses.replace` with freshly built components.  That
+    is what lets the batch runner hand the *same* record object to every
+    duplicate slot of a batch — and to every consumer of a cached entry —
+    without defensive deep copies.  The nested ``cycles``/``traffic``/
+    ``stats`` components remain plain mutable accumulators while the engine
+    is still building them, but must never be written once wrapped here.
+    """
 
     #: Name of the accelerator design that produced the result.
     accelerator: str

@@ -14,6 +14,7 @@ cache location and the environment knobs.
 """
 
 from repro.runtime.cache import MISS, PruneReport, ResultCache, default_cache_dir
+from repro.runtime.cost import estimate_job_cost, job_group_key
 from repro.runtime.jobs import (
     CACHE_SCHEMA_VERSION,
     CPU_DESIGN,
@@ -21,9 +22,19 @@ from repro.runtime.jobs import (
     ENGINE_DESIGN,
     SimJob,
     build_design,
+    execute_chunk,
     execute_job,
 )
+from repro.runtime.pool import (
+    POOL_MODES,
+    WorkerPool,
+    pool_mode_from_env,
+    reset_shared_pool,
+    shared_pool,
+    shutdown_shared_pool,
+)
 from repro.runtime.runner import (
+    SCHEDULE_MODES,
     BatchRunner,
     RunnerStats,
     default_runner,
@@ -36,13 +47,23 @@ __all__ = [
     "PruneReport",
     "ResultCache",
     "default_cache_dir",
+    "estimate_job_cost",
+    "job_group_key",
     "CACHE_SCHEMA_VERSION",
     "CPU_DESIGN",
     "DESIGN_ORDER",
     "ENGINE_DESIGN",
     "SimJob",
     "build_design",
+    "execute_chunk",
     "execute_job",
+    "POOL_MODES",
+    "WorkerPool",
+    "pool_mode_from_env",
+    "reset_shared_pool",
+    "shared_pool",
+    "shutdown_shared_pool",
+    "SCHEDULE_MODES",
     "BatchRunner",
     "RunnerStats",
     "default_runner",

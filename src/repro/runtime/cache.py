@@ -3,14 +3,24 @@
 Completed jobs are memoized on disk keyed by :meth:`SimJob.key`, so any
 process that builds the same job — a later benchmark invocation, a pytest
 re-run, a worker process of the parallel executor — gets the finished result
-back instead of re-simulating.  Entries are pickled result records stored as
-``<dir>/<key[:2]>/<key>.pkl``; writes go through a temporary file plus
+back instead of re-simulating.  Entries are pickled result records fanned out
+into 256 two-hex-character shard subdirectories
+(``<dir>/<key[:2]>/<key>.pkl``), which keeps directory listings short for
+large sweeps; entries written by older builds directly under ``<dir>``
+("flat" layout) are still found and are transparently migrated into their
+shard on first read.  Writes go through a temporary file plus
 :func:`os.replace` so concurrent writers (the pool workers all share one
 directory) can never leave a torn file behind.
 
+Point lookups use :meth:`ResultCache.get`; the runner's pre-dispatch hit
+scan uses :meth:`ResultCache.get_many`, which lists each needed shard once
+instead of paying one ``stat`` + ``open`` attempt per key — on a cold sweep
+almost every key is a miss, and a miss costs nothing once the shard listing
+is in hand.
+
 The cache is *input*-addressed, not code-addressed: if the simulator's
 semantics change, bump :data:`repro.runtime.jobs.CACHE_SCHEMA_VERSION` (or
-clear the directory with ``python -m repro.runtime clear``).
+clear the directory with ``python -m repro cache clear``).
 
 Environment knobs:
 
@@ -24,6 +34,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -57,8 +68,7 @@ class ResultCache:
 
     The in-memory level keeps the *pickled* bytes rather than the live
     object: every :meth:`get` deserialises a fresh copy, so callers can
-    mutate a returned record (the scheduler folds conversion costs into
-    layer results, for example) without corrupting the cache.  It is an LRU
+    never corrupt the cache through a returned record.  It is an LRU
     bounded to :data:`MEMORY_ENTRY_LIMIT` blobs; evicted entries simply fall
     back to the disk level.
     """
@@ -69,8 +79,12 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
-        """On-disk location of one entry."""
+        """On-disk (sharded) location of one entry."""
         return self.directory / key[:2] / f"{key}.pkl"
+
+    def legacy_path_for(self, key: str) -> Path:
+        """Pre-shard flat location of one entry (read + migrated, not written)."""
+        return self.directory / f"{key}.pkl"
 
     def get(self, key: str):
         """The cached result for ``key``, or :data:`MISS`."""
@@ -80,10 +94,64 @@ class ResultCache:
             try:
                 blob = path.read_bytes()
             except OSError:
-                return MISS
+                legacy = self.legacy_path_for(key)
+                try:
+                    blob = legacy.read_bytes()
+                except OSError:
+                    return MISS
+                self._migrate_legacy(key)
             self._remember(key, blob)
         else:
             self._memory.move_to_end(key)
+        return self._decode(key, blob)
+
+    def get_many(self, keys: list[str]) -> dict[str, object]:
+        """Batched lookup: the subset of ``keys`` that are cached, decoded.
+
+        Instead of one ``stat`` + ``open`` attempt per key (the cost profile
+        of calling :meth:`get` in a loop, painful on cold sweeps where nearly
+        every key misses), each needed shard directory — and the flat legacy
+        level, if any key falls back to it — is listed once and only files
+        known to exist are opened.  Legacy entries found this way are
+        migrated into their shard exactly as :meth:`get` would.
+        """
+        found: dict[str, object] = {}
+        need: dict[str, list[str]] = {}
+        for key in dict.fromkeys(keys):
+            blob = self._memory.get(key)
+            if blob is not None:
+                self._memory.move_to_end(key)
+                value = self._decode(key, blob)
+                if value is not MISS:
+                    found[key] = value
+                continue
+            need.setdefault(key[:2], []).append(key)
+        if not need or not self.directory.is_dir():
+            return found
+        flat_names: set[str] | None = None
+        for prefix, shard_keys in need.items():
+            names = _list_dir(self.directory / prefix)
+            for key in shard_keys:
+                file_name = f"{key}.pkl"
+                if file_name in names:
+                    path = self.path_for(key)
+                else:
+                    if flat_names is None:
+                        flat_names = _list_dir(self.directory)
+                    if file_name not in flat_names:
+                        continue
+                    path = self._migrate_legacy(key)
+                try:
+                    blob = path.read_bytes()
+                except OSError:
+                    continue  # concurrently removed
+                self._remember(key, blob)
+                value = self._decode(key, blob)
+                if value is not MISS:
+                    found[key] = value
+        return found
+
+    def _decode(self, key: str, blob: bytes):
         try:
             return pickle.loads(blob)
         except Exception:
@@ -91,7 +159,18 @@ class ResultCache:
             # is indistinguishable from a miss; drop it so it gets rebuilt.
             self._memory.pop(key, None)
             self.path_for(key).unlink(missing_ok=True)
+            self.legacy_path_for(key).unlink(missing_ok=True)
             return MISS
+
+    def _migrate_legacy(self, key: str) -> Path:
+        """Move a flat legacy entry into its shard; returns the new path."""
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(self.legacy_path_for(key), path)
+        except OSError:
+            pass  # concurrently migrated or removed; the read decides
+        return path
 
     def _remember(self, key: str, blob: bytes) -> None:
         self._memory[key] = blob
@@ -118,6 +197,13 @@ class ResultCache:
             raise
 
     # ------------------------------------------------------------------
+    def _entry_paths(self):
+        """Every on-disk entry (sharded first, then flat legacy files)."""
+        if not self.directory.is_dir():
+            return
+        yield from self.directory.glob("*/*.pkl")
+        yield from self.directory.glob("*.pkl")
+
     def clear(self) -> int:
         """Remove every entry (memory and disk); returns entries removed.
 
@@ -126,12 +212,13 @@ class ResultCache:
         """
         self._memory.clear()
         removed = 0
+        for path in list(self._entry_paths()):
+            path.unlink(missing_ok=True)
+            removed += 1
         if self.directory.is_dir():
-            for path in self.directory.glob("*/*.pkl"):
-                path.unlink(missing_ok=True)
-                removed += 1
-            for path in self.directory.glob("*/*.tmp"):
-                path.unlink(missing_ok=True)
+            for pattern in ("*/*.tmp", "*.tmp"):
+                for path in self.directory.glob(pattern):
+                    path.unlink(missing_ok=True)
         return removed
 
     def prune(self, max_size_bytes: int) -> PruneReport:
@@ -146,13 +233,12 @@ class ResultCache:
         if max_size_bytes < 0:
             raise ValueError("max_size_bytes must be non-negative")
         entries = []
-        if self.directory.is_dir():
-            for path in self.directory.glob("*/*.pkl"):
-                try:
-                    stat = path.stat()
-                except OSError:
-                    continue  # concurrently removed
-                entries.append((stat.st_mtime, path.stem, path, stat.st_size))
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently removed
+            entries.append((stat.st_mtime, path.stem, path, stat.st_size))
         entries.sort(key=lambda entry: entry[:2])
         total = sum(entry[3] for entry in entries)
         removed = 0
@@ -173,16 +259,76 @@ class ResultCache:
         )
 
     def entry_count(self) -> int:
-        """Number of entries currently on disk."""
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+        """Number of entries currently on disk (sharded + flat legacy)."""
+        return sum(1 for _ in self._entry_paths())
 
     def size_bytes(self) -> int:
         """Total bytes the on-disk entries occupy."""
-        if not self.directory.is_dir():
-            return 0
-        return sum(path.stat().st_size for path in self.directory.glob("*/*.pkl"))
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # concurrently removed
+        return total
+
+    def stats_report(self) -> dict[str, object]:
+        """One batched scan of the disk level, with layout telemetry.
+
+        Returns entry/byte totals split by layout (sharded vs flat legacy),
+        the shard-directory count and how long the scan itself took — the
+        number ``python -m repro cache stats`` reports as scan throughput.
+        """
+        start = time.perf_counter()
+        entries = 0
+        size = 0
+        legacy_entries = 0
+        shard_dirs = 0
+        if self.directory.is_dir():
+            for child in _scandir_safe(self.directory):
+                try:
+                    is_dir = child.is_dir()
+                except OSError:
+                    continue  # concurrently removed
+                if is_dir:
+                    shard_dirs += 1
+                    for entry in _scandir_safe(child.path):
+                        if not entry.name.endswith(".pkl"):
+                            continue
+                        try:
+                            size += entry.stat().st_size
+                        except OSError:
+                            continue  # concurrently removed
+                        entries += 1
+                elif child.name.endswith(".pkl"):
+                    try:
+                        size += child.stat().st_size
+                    except OSError:
+                        continue  # concurrently removed
+                    entries += 1
+                    legacy_entries += 1
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "size_bytes": size,
+            "shard_dirs": shard_dirs,
+            "legacy_entries": legacy_entries,
+            "scan_seconds": time.perf_counter() - start,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultCache({str(self.directory)!r})"
+
+
+def _scandir_safe(path) -> list:
+    """Directory entries, tolerating a concurrently removed directory."""
+    try:
+        with os.scandir(path) as it:
+            return list(it)
+    except OSError:
+        return []
+
+
+def _list_dir(path: Path) -> set[str]:
+    """File names directly under ``path`` (empty when it does not exist)."""
+    return {entry.name for entry in _scandir_safe(path)}

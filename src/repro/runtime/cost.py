@@ -1,0 +1,76 @@
+"""Job cost estimation and worker-affinity grouping for the batch runner.
+
+The runner schedules cache-missing jobs longest-processing-time-first and
+packs jobs that simulate the same operands onto the same worker.  Both
+decisions need a *predicted* cost per job, cheap enough to compute for every
+job of a sweep without touching the operands themselves:
+
+* :func:`estimate_job_cost` — expected effectual multiply-accumulates of the
+  job's SpMSpM (dimensions x densities, from the layer spec or the operand
+  nnz counts), weighted by how much simulation the design actually performs
+  (a Flexagon job runs one engine simulation per candidate dataflow of the
+  oracle mapper; the CPU baseline is a closed-form cost model).
+* :func:`job_group_key` — identity of the operand pair a job simulates
+  (``(spec, scale, seed)`` for generated layers, content digests for explicit
+  operands).  Jobs with equal group keys are dispatched to the same worker so
+  the per-process :func:`~repro.workloads.layers.materialize_layer` memo and
+  the shared engine-result cache hit instead of every worker re-generating
+  and re-simulating the same layer.
+
+The estimates only need to *rank* jobs; they are never compared against
+measured cycles.
+"""
+
+from __future__ import annotations
+
+from repro.dataflows.base import Dataflow
+from repro.runtime.jobs import CPU_DESIGN, SimJob
+
+#: Relative simulation effort per design, in units of "one engine run over
+#: the job's operands".  Flexagon pays one engine run per candidate dataflow
+#: of the oracle mapper (all six when the layout is unconstrained) plus the
+#: final configured run; the CPU baseline never walks element streams at all.
+DESIGN_WEIGHTS = {
+    "Flexagon": float(len(Dataflow)) + 1.0,
+    CPU_DESIGN: 0.05,
+}
+
+#: Weight for any design not listed above (the fixed-dataflow baselines and
+#: raw engine jobs: exactly one engine run).
+DEFAULT_DESIGN_WEIGHT = 1.0
+
+
+def estimate_job_cost(job: SimJob) -> float:
+    """Predicted relative cost of executing ``job`` (arbitrary units).
+
+    For spec jobs the expected effectual MAC count is computed from the
+    *scaled* dimensions and the operand densities; for explicit-operand jobs
+    it is derived from the stored nnz counts.  The result is scaled by the
+    design weight so a Flexagon job ranks several times above a
+    forced-dataflow job over the same operands.
+    """
+    if job.spec is not None:
+        scaled = job.spec.scaled(job.scale)
+        macs = scaled.dense_macs * scaled.density_a * scaled.density_b
+    else:
+        # E[effectual MACs] for C = A x B with the operands' nnz spread
+        # uniformly over the shared K dimension.
+        k = max(1, job.a.ncols)
+        macs = job.a.nnz * job.b.nnz / k
+    weight = DESIGN_WEIGHTS.get(job.design, DEFAULT_DESIGN_WEIGHT)
+    return max(1.0, float(macs)) * weight
+
+
+def job_group_key(job: SimJob) -> tuple:
+    """Identity of the operand pair ``job`` simulates (worker affinity key).
+
+    Jobs over the same generated layer (same spec, scale and resolved seed)
+    or the same explicit operand pair share a group; the runner keeps a group
+    on one worker so materialisation and the per-pair derived-structure
+    memos are paid once per group instead of once per (worker, job).
+    """
+    if job.spec is not None:
+        return ("spec", job.spec, job.scale, job.resolved_seed())
+    from repro.runtime.jobs import _matrix_digest
+
+    return ("operands", _matrix_digest(job.a), _matrix_digest(job.b))

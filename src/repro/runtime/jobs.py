@@ -23,7 +23,9 @@ import enum
 import functools
 import hashlib
 import json
+import os
 import weakref
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
 from repro.arch.config import AcceleratorConfig
@@ -55,6 +57,56 @@ _KNOWN_DESIGNS = DESIGN_ORDER + (CPU_DESIGN, ENGINE_DESIGN)
 SHARED_TRIAL_CACHE = "<shared>"
 
 
+def _env_share_engine() -> bool:
+    """Whether design jobs share engine runs through the result cache.
+
+    ``REPRO_SHARE_ENGINE=0`` restores the pre-sharing behaviour (every design
+    simulates its engine run directly, even when the identical run is already
+    cached as an oracle trial) — used for A/B benchmarking.
+    """
+    return os.environ.get("REPRO_SHARE_ENGINE", "1") != "0"
+
+
+#: Per-process memo of nested runners keyed by cache directory: every job a
+#: pool worker executes over the same sweep cache reuses one runner, so the
+#: cache's in-memory blob level stays warm across the worker's whole chunk
+#: stream instead of re-reading shared engine results from disk per job.
+#: Bounded LRU: persistent-pool workers live for the whole process, and each
+#: retained runner pins up to one cache's worth of in-memory blobs.
+_NESTED_RUNNERS: "OrderedDict[str, object]" = OrderedDict()
+_NESTED_RUNNER_LIMIT = 4
+
+
+def _nested_runner(trial_cache: object):
+    """The serial runner nested (trial / shared engine) jobs go through.
+
+    :data:`SHARED_TRIAL_CACHE` resolves to the process-wide trial runner; a
+    :class:`~repro.runtime.cache.ResultCache` instance or a directory path
+    yields a serial runner over that cache (memoized per directory within
+    the process); ``None`` yields a cache-less serial runner (nested work
+    executes but memoizes nothing).
+    """
+    if isinstance(trial_cache, str) and trial_cache == SHARED_TRIAL_CACHE:
+        from repro.runtime.runner import trial_runner
+
+        return trial_runner()
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.runner import BatchRunner
+
+    if trial_cache is not None and not isinstance(trial_cache, ResultCache):
+        directory = os.fspath(trial_cache)
+        runner = _NESTED_RUNNERS.get(directory)
+        if runner is None:
+            runner = BatchRunner(parallel=False, cache=ResultCache(directory))
+            _NESTED_RUNNERS[directory] = runner
+        else:
+            _NESTED_RUNNERS.move_to_end(directory)
+        while len(_NESTED_RUNNERS) > _NESTED_RUNNER_LIMIT:
+            _NESTED_RUNNERS.popitem(last=False)
+        return runner
+    return BatchRunner(parallel=False, cache=trial_cache)
+
+
 def build_design(
     design: str,
     config: AcceleratorConfig,
@@ -68,16 +120,24 @@ def build_design(
     (the offline mapper/compiler of Fig. 3b); the oracle mapper reproduces
     that by simulating the candidate dataflows and picking the fastest.
 
-    ``trial_cache`` controls where the oracle's candidate trials are
+    ``trial_cache`` controls where nested engine-level jobs — the oracle's
+    candidate trials *and* the design's final configured engine run — are
     memoized: the default (:data:`SHARED_TRIAL_CACHE`) routes them through
     the process-wide (env configured) trial runner; a
     :class:`~repro.runtime.cache.ResultCache` instance or a directory path
-    gives the mapper a private serial runner over that cache; ``None``
-    disables trial caching entirely.  A
+    gives the design a private serial runner over that cache; ``None``
+    disables nested caching entirely.  A
     :class:`~repro.runtime.runner.BatchRunner` forwards its own cache here
     (the live object in-process, the directory across a pool boundary) so
-    nested trial work can never read or write a cache the caller did not
-    choose.
+    nested work can never read or write a cache the caller did not choose.
+
+    Because engine jobs are content-addressed by (config, operands, dataflow)
+    alone, routing every design's engine run through the same cache
+    deduplicates the sweep's hottest redundant work: a fixed-dataflow
+    baseline re-simulates exactly the run Flexagon's oracle already trialed
+    over the same operands, and Flexagon's own final run re-simulates its
+    winning trial.  ``REPRO_SHARE_ENGINE=0`` disables the sharing (trials
+    remain cached as before).
 
     ``engine`` selects the :class:`~repro.accelerators.engine.SpmspmEngine`
     execution backend (``"vectorized"`` / ``"reference"``; ``None`` defers to
@@ -91,29 +151,22 @@ def build_design(
         SparchLikeAccelerator,
     )
 
+    nested = _nested_runner(trial_cache)
     if design == "Flexagon":
         from repro.core.mapper import OracleMapper
 
-        if isinstance(trial_cache, str) and trial_cache == SHARED_TRIAL_CACHE:
-            mapper = OracleMapper(config, engine=engine)
-        else:
-            from repro.runtime.cache import ResultCache
-            from repro.runtime.runner import BatchRunner
-
-            if trial_cache is not None and not isinstance(trial_cache, ResultCache):
-                trial_cache = ResultCache(trial_cache)
-            mapper = OracleMapper(
-                config,
-                runner=BatchRunner(parallel=False, cache=trial_cache),
-                engine=engine,
-            )
-        return FlexagonAccelerator(config, mapper=mapper, engine=engine)
-    classes = {
-        "SIGMA-like": SigmaLikeAccelerator,
-        "SpArch-like": SparchLikeAccelerator,
-        "GAMMA-like": GammaLikeAccelerator,
-    }
-    return classes[design](config, engine=engine)
+        mapper = OracleMapper(config, runner=nested, engine=engine)
+        accelerator = FlexagonAccelerator(config, mapper=mapper, engine=engine)
+    else:
+        classes = {
+            "SIGMA-like": SigmaLikeAccelerator,
+            "SpArch-like": SparchLikeAccelerator,
+            "GAMMA-like": GammaLikeAccelerator,
+        }
+        accelerator = classes[design](config, engine=engine)
+    if nested.cache is not None and _env_share_engine():
+        accelerator.engine_job_runner = nested
+    return accelerator
 
 
 @dataclass(frozen=True)
@@ -230,6 +283,32 @@ def execute_job(job: SimJob, *, trial_cache: object = SHARED_TRIAL_CACHE):
     return accelerator.run_layer(
         a, b, dataflow=job.dataflow, layer_name=job.layer_name
     )
+
+
+def execute_chunk(
+    jobs: list[SimJob], *, trial_cache: object = SHARED_TRIAL_CACHE
+) -> tuple[list, BaseException | None]:
+    """Run a list of jobs sequentially in this process, in the given order.
+
+    The parallel runner's dispatch unit: jobs over the same operand pair are
+    chunked together (see :func:`repro.runtime.cost.job_group_key`) so the
+    worker materialises the layer once, the per-pair derived-structure memos
+    stay warm, and — with the chunk's most expensive job ordered first — the
+    cheaper jobs of the chunk hit the engine results the first one cached.
+
+    Returns ``(outcomes, error)``: the results of the jobs that completed
+    (a prefix of ``jobs``) and the exception that stopped the chunk, if any.
+    Shipping the completed prefix back alongside the error is what keeps the
+    runner's crash-resume contract — every finished result reaches the cache
+    — intact when a mid-chunk job blows up in a pool worker.
+    """
+    outcomes: list = []
+    for job in jobs:
+        try:
+            outcomes.append(execute_job(job, trial_cache=trial_cache))
+        except BaseException as error:
+            return outcomes, error
+    return outcomes, None
 
 
 # ----------------------------------------------------------------------

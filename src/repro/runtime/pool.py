@@ -1,0 +1,139 @@
+"""The process-wide persistent worker pool behind the batch runner.
+
+Before this module existed every :meth:`BatchRunner.run` call built a fresh
+:class:`concurrent.futures.ProcessPoolExecutor` and tore it down when the
+batch finished, so a figure sequence (one batch per experiment grid) paid
+pool start-up per batch and threw away every per-worker memo (materialised
+layers, derived operand structures) each time.  :class:`WorkerPool` keeps one
+executor alive for the whole process: it is created lazily on first use,
+grows when a batch asks for more workers than it was built with, is shared by
+every runner in persistent mode, and is shut down atexit.
+
+Environment knob:
+
+* ``REPRO_POOL=persistent`` (default) — reuse one process-wide executor
+  across batches.
+* ``REPRO_POOL=ephemeral`` — legacy behaviour: one executor per batch
+  (useful for A/B benchmarking and for workloads that must release worker
+  memory between batches).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor
+
+#: Valid values of the ``REPRO_POOL`` environment knob.
+POOL_MODES = ("persistent", "ephemeral")
+
+
+def pool_mode_from_env() -> str:
+    """The pool mode the environment asks for (default: ``persistent``)."""
+    mode = os.environ.get("REPRO_POOL", "persistent")
+    if mode not in POOL_MODES:
+        raise ValueError(
+            f"REPRO_POOL must be one of {POOL_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def pool_context():
+    """Prefer fork workers: they inherit the loaded modules, so tiny jobs do
+    not pay an interpreter start-up and re-import per worker."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class WorkerPool:
+    """A lazily created, growable, reusable process-pool executor.
+
+    The underlying executor is built on the first :meth:`executor` call and
+    handed back to every later caller.  Asking for *more* workers than the
+    pool currently has replaces it with a wider one (the old workers finish
+    their queues and exit); asking for fewer just leaves the extra workers
+    idle, which costs nothing while they wait.
+    """
+
+    def __init__(self) -> None:
+        self._executor: ProcessPoolExecutor | None = None
+        self._width = 0
+
+    @property
+    def width(self) -> int:
+        """Worker count of the live executor (0 when none exists yet)."""
+        return self._width if self._executor is not None else 0
+
+    def executor(self, max_workers: int) -> ProcessPoolExecutor:
+        """The shared executor, (re)built to hold at least ``max_workers``.
+
+        A broken executor (a worker died; the pool refuses further work) is
+        replaced instead of handed back, so one crashed batch cannot
+        permanently poison every later batch of the process.
+        """
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if self._executor is not None and (
+            self._width < max_workers or getattr(self._executor, "_broken", False)
+        ):
+            self.shutdown()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=pool_context()
+            )
+            self._width = max_workers
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Tear the executor down (it is lazily rebuilt on next use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+            self._width = 0
+
+
+# ----------------------------------------------------------------------
+# The process-wide shared pool (what ``REPRO_POOL=persistent`` reuses)
+# ----------------------------------------------------------------------
+_shared_pool: WorkerPool | None = None
+
+
+def shared_pool() -> WorkerPool:
+    """The process-wide :class:`WorkerPool`, created on first use."""
+    global _shared_pool
+    if _shared_pool is None:
+        _shared_pool = WorkerPool()
+        atexit.register(shutdown_shared_pool)
+    return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Shut the shared pool down (registered atexit; safe to call anytime)."""
+    if _shared_pool is not None:
+        _shared_pool.shutdown()
+
+
+def reset_shared_pool() -> None:
+    """Tear down and forget the shared pool (tests use this between modes)."""
+    global _shared_pool
+    shutdown_shared_pool()
+    _shared_pool = None
+
+
+def acquire_executor(mode: str, max_workers: int) -> tuple[Executor, bool]:
+    """An executor for one batch under ``mode``.
+
+    Returns ``(executor, transient)``: when ``transient`` is true the caller
+    owns the executor and must shut it down after the batch (ephemeral mode);
+    otherwise the executor belongs to the shared pool and must be left alone.
+    """
+    if mode == "ephemeral":
+        return (
+            ProcessPoolExecutor(max_workers=max_workers, mp_context=pool_context()),
+            True,
+        )
+    if mode != "persistent":
+        raise ValueError(f"unknown pool mode {mode!r}; expected one of {POOL_MODES}")
+    return shared_pool().executor(max_workers), False

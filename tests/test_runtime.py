@@ -281,8 +281,37 @@ class TestBatchRunner:
         job = _layer_job()
         results = runner.run([job, job, job])
         assert runner.stats.executed == 1
-        assert len({id(r) for r in results}) == 3  # no aliased records
+        # Result records are immutable by contract, so duplicates share one
+        # record instead of paying a deep copy per duplicate slot.
+        assert results[0] is results[1] is results[2]
         assert len({r.total_cycles for r in results}) == 1
+
+    def test_duplicate_results_are_frozen_not_copied(self, tmp_path):
+        """Regression: aliasing is safe because the records cannot mutate."""
+        import copy
+        from dataclasses import FrozenInstanceError
+
+        calls = []
+        original = copy.deepcopy
+
+        def counting_deepcopy(value, *args, **kwargs):
+            calls.append(type(value).__name__)
+            return original(value, *args, **kwargs)
+
+        runner = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        job = _layer_job()
+        try:
+            copy.deepcopy = counting_deepcopy
+            first, second = runner.run([job, job])
+        finally:
+            copy.deepcopy = original
+        assert first is second
+        # Duplicates no longer trigger a deep copy of the result record.
+        # (``dataclasses.asdict`` in the key hash deep-copies leaf scalars;
+        # only record-level copies would betray the old aliasing guard.)
+        assert "LayerSimResult" not in calls and "CpuRunResult" not in calls
+        with pytest.raises(FrozenInstanceError):
+            first.layer_name = "mutated"
 
     def test_no_cache_means_no_memoization(self):
         runner = BatchRunner(parallel=False, cache=None)
@@ -399,6 +428,425 @@ class TestParallelSerialEquivalence:
 # ----------------------------------------------------------------------
 # Warm-cache acceptance: a second sweep simulates nothing
 # ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_persistent_pool_is_reused_across_batches(self):
+        from repro.runtime.pool import WorkerPool
+
+        pool = WorkerPool()
+        try:
+            first = pool.executor(2)
+            assert pool.executor(2) is first
+            assert pool.width == 2
+        finally:
+            pool.shutdown()
+        assert pool.width == 0
+
+    def test_pool_grows_when_more_workers_are_requested(self):
+        from repro.runtime.pool import WorkerPool
+
+        pool = WorkerPool()
+        try:
+            narrow = pool.executor(1)
+            wide = pool.executor(3)
+            assert wide is not narrow
+            assert pool.width == 3
+            # Asking for fewer workers keeps the wide pool.
+            assert pool.executor(2) is wide
+        finally:
+            pool.shutdown()
+
+    def test_broken_executor_is_replaced(self):
+        """One crashed batch must not poison every later batch."""
+        from repro.runtime.pool import WorkerPool
+
+        pool = WorkerPool()
+        try:
+            poisoned = pool.executor(1)
+            # Simulate a dead worker: the executor flags itself broken and
+            # refuses further submissions.
+            poisoned._broken = "a worker died"
+            replacement = pool.executor(1)
+            assert replacement is not poisoned
+            assert replacement.submit(int, "7").result() == 7
+        finally:
+            pool.shutdown()
+
+    def test_env_knob_validates(self, monkeypatch):
+        from repro.runtime.pool import pool_mode_from_env
+
+        monkeypatch.setenv("REPRO_POOL", "ephemeral")
+        assert pool_mode_from_env() == "ephemeral"
+        monkeypatch.delenv("REPRO_POOL")
+        assert pool_mode_from_env() == "persistent"
+        monkeypatch.setenv("REPRO_POOL", "bogus")
+        with pytest.raises(ValueError, match="REPRO_POOL"):
+            pool_mode_from_env()
+
+    @pytest.mark.parametrize("pool_mode", ["persistent", "ephemeral"])
+    def test_both_pool_modes_match_serial_results(self, tmp_path, pool_mode):
+        from repro.runtime import reset_shared_pool
+
+        jobs = [
+            _layer_job(design=design, index=index)
+            for index in (0, 1)
+            for design in DESIGN_ORDER + (CPU_DESIGN,)
+        ]
+        serial = BatchRunner(parallel=False, cache=None).run(jobs)
+        try:
+            parallel = BatchRunner(
+                parallel=True,
+                max_workers=2,
+                cache=ResultCache(tmp_path / pool_mode),
+                pool_mode=pool_mode,
+            ).run(jobs)
+        finally:
+            reset_shared_pool()
+        for design_serial, design_parallel in zip(serial, parallel):
+            assert design_serial.cycles == design_parallel.cycles
+            assert design_serial.stats == design_parallel.stats
+
+
+class TestCostModel:
+    def test_flexagon_outweighs_fixed_designs(self):
+        flexagon = _layer_job(design="Flexagon")
+        sigma = _layer_job(design="SIGMA-like")
+        cpu = _layer_job(design=CPU_DESIGN)
+        from repro.runtime import estimate_job_cost
+
+        assert estimate_job_cost(flexagon) > 5 * estimate_job_cost(sigma)
+        assert estimate_job_cost(cpu) < estimate_job_cost(sigma)
+
+    def test_cost_scales_with_the_layer(self):
+        from repro.runtime import estimate_job_cost
+
+        small = _layer_job(scale=0.05)
+        large = _layer_job(scale=0.2)
+        assert estimate_job_cost(large) > estimate_job_cost(small)
+
+    def test_operand_jobs_use_nnz(self):
+        from repro.runtime import estimate_job_cost
+
+        config = default_config()
+        a = random_sparse(16, 16, density=0.5, seed=0)
+        b = random_sparse(16, 16, density=0.5, seed=1)
+        job = SimJob(design="SIGMA-like", config=config, a=a, b=b)
+        expected = max(1.0, a.nnz * b.nnz / a.ncols)
+        assert estimate_job_cost(job) == expected
+
+    def test_group_key_is_the_operand_identity(self):
+        from repro.runtime import job_group_key
+
+        same_layer = [
+            _layer_job(design=design) for design in DESIGN_ORDER + (CPU_DESIGN,)
+        ]
+        assert len({job_group_key(job) for job in same_layer}) == 1
+        assert job_group_key(_layer_job()) != job_group_key(_layer_job(index=1))
+        assert job_group_key(_layer_job()) != job_group_key(_layer_job(scale=0.06))
+
+        config = default_config()
+        a = random_sparse(8, 8, density=0.5, seed=0)
+        b = random_sparse(8, 8, density=0.5, seed=1)
+        pair = [
+            SimJob(design=design, config=config, a=a, b=b)
+            for design in ("SIGMA-like", "GAMMA-like")
+        ]
+        assert job_group_key(pair[0]) == job_group_key(pair[1])
+
+
+class TestStreamingProgress:
+    def test_on_result_counts_every_job(self, tmp_path):
+        runner = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        jobs = [_layer_job(design=d) for d in ("SIGMA-like", "GAMMA-like")]
+        seen: list[tuple[int, int]] = []
+        runner.run(jobs, on_result=lambda done, total: seen.append((done, total)))
+        assert seen[0] == (0, 2)  # after the (empty) cache scan
+        assert seen[-1] == (2, 2)
+        assert [done for done, _ in seen] == sorted(done for done, _ in seen)
+
+    def test_cache_hits_are_reported_before_execution(self, tmp_path):
+        runner = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        jobs = [_layer_job(design=d) for d in ("SIGMA-like", "GAMMA-like")]
+        runner.run(jobs)
+        seen: list[tuple[int, int]] = []
+        runner.run(jobs, on_result=lambda done, total: seen.append((done, total)))
+        assert seen == [(2, 2)]  # everything answered by the scan
+
+    def test_runner_wide_default_callback(self, tmp_path):
+        seen: list[tuple[int, int]] = []
+        runner = BatchRunner(
+            parallel=False,
+            cache=ResultCache(tmp_path),
+            on_result=lambda done, total: seen.append((done, total)),
+        )
+        runner.run_one(_layer_job())
+        assert seen[-1] == (1, 1)
+
+    def test_results_stream_into_the_cache_as_they_land(self, tmp_path, monkeypatch):
+        """Each finished job is on disk before the next one executes."""
+        from repro.runtime import runner as runner_module
+
+        cache = ResultCache(tmp_path)
+        counts: dict[str, int] = {}
+        original = runner_module.execute_job
+
+        def observing(job, **kwargs):
+            counts[job.design] = cache.entry_count()
+            return original(job, **kwargs)
+
+        monkeypatch.setattr(runner_module, "execute_job", observing)
+        runner = BatchRunner(parallel=False, cache=cache)
+        runner.run([_layer_job(design=d) for d in ("SIGMA-like", "GAMMA-like")])
+        # The second job saw the first job's entry already persisted.
+        first, second = counts["SIGMA-like"], counts["GAMMA-like"]
+        if first > second:
+            first, second = second, first
+        assert first == 0
+        assert second >= 1
+
+
+class TestCrashResume:
+    def test_completed_results_survive_a_mid_batch_crash(self, tmp_path, monkeypatch):
+        from repro.runtime import runner as runner_module
+
+        jobs = [
+            _layer_job(design=design, index=index)
+            for index in (0, 1)
+            for design in ("SIGMA-like", "GAMMA-like", "SpArch-like")
+        ]
+        crash_after = 4
+        executed = 0
+        original = runner_module.execute_job
+
+        def flaky(job, **kwargs):
+            # Count top-level jobs only (design jobs also execute a nested
+            # engine job through the shared trial runner).
+            nonlocal executed
+            if job.design != ENGINE_DESIGN:
+                if executed >= crash_after:
+                    raise RuntimeError("simulated mid-sweep crash")
+                executed += 1
+            return original(job, **kwargs)
+
+        monkeypatch.setattr(runner_module, "execute_job", flaky)
+        crashed = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        with pytest.raises(RuntimeError, match="mid-sweep crash"):
+            crashed.run(jobs)
+        # Everything finished before the crash is already on disk.
+        on_disk = ResultCache(tmp_path)
+        assert sum(on_disk.get(job.key()) is not MISS for job in jobs) == crash_after
+
+        monkeypatch.setattr(runner_module, "execute_job", original)
+        resumed = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        results = resumed.run(jobs)
+        assert resumed.stats.cache_hits == crash_after
+        assert resumed.stats.executed == len(jobs) - crash_after
+        assert all(result is not None for result in results)
+
+    def test_parallel_chunk_crash_preserves_the_completed_prefix(
+        self, tmp_path, monkeypatch
+    ):
+        """A mid-chunk failure in a pool worker keeps earlier results."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork workers to inherit the patched executor")
+        from repro.runtime import jobs as jobs_module
+
+        # One operand group of four jobs, kept whole as one chunk (cost
+        # order: Flexagon, then the fixed designs in insertion order).
+        # SpArch — last in the chunk — blows up in the worker after its
+        # chunk-mates finished; the ephemeral pool forks after the patch,
+        # so the worker inherits it.
+        jobs = [
+            _layer_job(design=design)
+            for design in ("Flexagon", "SIGMA-like", "GAMMA-like", "SpArch-like")
+        ]
+        original = jobs_module.execute_job
+
+        def flaky(job, **kwargs):
+            if job.design == "SpArch-like":
+                raise RuntimeError("simulated worker crash")
+            return original(job, **kwargs)
+
+        monkeypatch.setattr(jobs_module, "execute_job", flaky)
+        runner = BatchRunner(
+            parallel=True,
+            max_workers=2,
+            cache=ResultCache(tmp_path),
+            pool_mode="ephemeral",
+        )
+        with pytest.raises(RuntimeError, match="worker crash"):
+            runner.run(jobs)
+        on_disk = ResultCache(tmp_path)
+        # GAMMA completed before its chunk-mate SpArch crashed: its result
+        # must have been streamed to disk despite the crash.
+        gamma = next(job for job in jobs if job.design == "GAMMA-like")
+        sparch = next(job for job in jobs if job.design == "SpArch-like")
+        assert on_disk.get(gamma.key()) is not MISS
+        assert on_disk.get(sparch.key()) is MISS
+
+
+class TestLegacyFlatCache:
+    """Entries written by the pre-shard flat layout stay readable."""
+
+    @staticmethod
+    def _plant_flat_entry(cache, key, value):
+        import pickle
+
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.legacy_path_for(key).write_bytes(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def test_get_reads_and_migrates_flat_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        self._plant_flat_entry(cache, key, {"cycles": 7.0})
+        assert cache.get(key) == {"cycles": 7.0}
+        # Migrated into its shard; the flat file is gone.
+        assert cache.path_for(key).exists()
+        assert not cache.legacy_path_for(key).exists()
+        assert ResultCache(tmp_path).get(key) == {"cycles": 7.0}
+
+    def test_get_many_spans_both_layouts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        flat_key = "cd" * 32
+        sharded_key = "ef" * 32
+        absent_key = "01" * 32
+        self._plant_flat_entry(cache, flat_key, "flat")
+        cache.put(sharded_key, "sharded")
+        fresh = ResultCache(tmp_path)
+        found = fresh.get_many([flat_key, sharded_key, absent_key])
+        assert found == {flat_key: "flat", sharded_key: "sharded"}
+        assert not fresh.legacy_path_for(flat_key).exists()
+
+    def test_maintenance_covers_flat_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._plant_flat_entry(cache, "12" * 32, "legacy")
+        cache.put("34" * 32, "sharded")
+        assert cache.entry_count() == 2
+        assert cache.size_bytes() > 0
+        report = cache.stats_report()
+        assert report["entries"] == 2
+        assert report["legacy_entries"] == 1
+        assert report["shard_dirs"] >= 1
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+    def test_prune_evicts_flat_entries_too(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._plant_flat_entry(cache, "56" * 32, "legacy-" + "x" * 100)
+        report = cache.prune(0)
+        assert report.removed_entries == 1
+        assert cache.entry_count() == 0
+
+
+class TestRunnerTelemetry:
+    def test_wall_clock_counters_accumulate(self, tmp_path):
+        runner = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        runner.run([_layer_job(design=d) for d in ("SIGMA-like", "GAMMA-like")])
+        assert runner.stats.exec_seconds > 0
+        assert runner.stats.cache_scan_seconds > 0
+        assert runner.stats.peak_in_flight == 1
+        row = runner.stats.as_row()
+        assert {"exec seconds", "cache scan seconds", "peak in flight"} <= set(row)
+
+    def test_warm_run_spends_no_exec_time(self, tmp_path):
+        cold = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        job = _layer_job()
+        cold.run_one(job)
+        warm = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        warm.run_one(job)
+        assert warm.stats.exec_seconds == 0
+        assert warm.stats.cache_scan_seconds > 0
+
+
+class TestEnvironmentKnobs:
+    def test_workers_default_to_every_core(self, monkeypatch):
+        from repro.runtime import runner as runner_module
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 24)
+        assert runner_module._env_workers() == 24
+
+    def test_workers_env_overrides_the_core_count(self, monkeypatch):
+        from repro.runtime import runner as runner_module
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert runner_module._env_workers() == 3
+
+    def test_repr_names_the_width_and_pool(self):
+        runner = BatchRunner(
+            parallel=True, max_workers=5, cache=None,
+            pool_mode="persistent", schedule="cost",
+        )
+        text = repr(runner)
+        assert "x5" in text and "persistent" in text and "cost" in text
+        assert "serial" in repr(BatchRunner(parallel=False, cache=None))
+
+    def test_schedule_knob_validates(self, monkeypatch):
+        from repro.runtime import runner as runner_module
+
+        monkeypatch.setenv("REPRO_SCHED", "bogus")
+        with pytest.raises(ValueError, match="REPRO_SCHED"):
+            runner_module._env_schedule()
+        monkeypatch.setenv("REPRO_SCHED", "fifo")
+        assert BatchRunner(parallel=False, cache=None).schedule == "fifo"
+
+    def test_fifo_schedule_matches_cost_schedule_results(self, tmp_path):
+        jobs = [
+            _layer_job(design=design, index=index)
+            for index in (0, 1)
+            for design in DESIGN_ORDER
+        ]
+        cost = BatchRunner(parallel=False, cache=ResultCache(tmp_path / "a"))
+        fifo = BatchRunner(
+            parallel=False, cache=ResultCache(tmp_path / "b"), schedule="fifo"
+        )
+        for ours, legacy in zip(cost.run(jobs), fifo.run(jobs)):
+            assert ours.total_cycles == legacy.total_cycles
+            assert ours.stats == legacy.stats
+
+
+class TestEngineResultSharing:
+    def test_designs_reuse_cached_oracle_trials(self, tmp_path):
+        """A fixed design's engine run hits the trials Flexagon cached."""
+        cache = ResultCache(tmp_path)
+        flexagon_first = BatchRunner(parallel=False, cache=cache)
+        flexagon_first.run_one(_layer_job(design="Flexagon"))
+        entries_after_flexagon = cache.entry_count()
+
+        sigma = BatchRunner(parallel=False, cache=cache)
+        result = sigma.run_one(_layer_job(design="SIGMA-like"))
+        assert result.accelerator == "SIGMA-like"
+        # Only the SIGMA job's own record is new; its engine run was served
+        # from the cached trial, so no new engine entry appeared.
+        assert cache.entry_count() == entries_after_flexagon + 1
+
+    def test_sharing_is_bit_equivalent_to_direct_execution(self, tmp_path, monkeypatch):
+        jobs = [_layer_job(design=design) for design in DESIGN_ORDER]
+        direct = BatchRunner(parallel=False, cache=None).run(jobs)
+
+        shared = BatchRunner(parallel=False, cache=ResultCache(tmp_path)).run(jobs)
+        for via_cache, via_engine in zip(shared, direct):
+            assert via_cache.accelerator == via_engine.accelerator
+            assert via_cache.dataflow is via_engine.dataflow
+            assert via_cache.layer_name == via_engine.layer_name
+            assert via_cache.cycles == via_engine.cycles
+            assert via_cache.traffic == via_engine.traffic
+            assert via_cache.stats == via_engine.stats
+            assert via_cache.str_cache_miss_rate == via_engine.str_cache_miss_rate
+            assert via_cache.dram == via_engine.dram
+
+        monkeypatch.setenv("REPRO_SHARE_ENGINE", "0")
+        unshared = BatchRunner(
+            parallel=False, cache=ResultCache(tmp_path / "unshared")
+        ).run(jobs)
+        for via_cache, via_engine in zip(unshared, direct):
+            assert via_cache.cycles == via_engine.cycles
+            assert via_cache.stats == via_engine.stats
+
+
 class TestWarmCacheEndToEnd:
     def test_second_run_executes_zero_jobs(self, tmp_path):
         cold = BatchRunner(parallel=False, cache=ResultCache(tmp_path))

@@ -1,0 +1,229 @@
+"""Timed serving benchmark: warm-path latency and concurrent throughput.
+
+Pre-warms a fresh result cache with the fig12 grid, starts the
+:class:`~repro.serve.app.BackgroundServer` over it, and measures:
+
+* **warm in-process latency** — median ``session.figure("fig12")`` render
+  time with the grid memoized: the no-HTTP lower bound of the warm path.
+* **warm HTTP latency** — median ``GET /v1/figure/fig12`` over one
+  keep-alive connection: the same render plus the full server stack.
+* **revalidation latency** — median conditional GET answered ``304``
+  (the path that touches neither the cache nor the simulator).
+* **concurrent throughput** — requests/second with several keep-alive
+  client threads hammering the warm figure endpoint at once.
+
+The regression gate is the **overhead ratio** — warm HTTP latency over warm
+in-process latency, i.e. how much the serving stack multiplies a warm
+query's cost.  Like the engine/runtime benches, the gated quantity is
+machine-*relative*, so the check stays meaningful on runners of any
+absolute speed.  In ``--check`` mode the bench fails when the measured
+ratio exceeds the committed baseline's by more than the tolerance.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py                  # record
+    PYTHONPATH=src python scripts/bench_serve.py --check BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.api import Session
+from repro.experiments.settings import default_settings
+from repro.runtime import BatchRunner, ResultCache
+from repro.serve import BackgroundServer
+
+#: Fraction of the committed baseline the measured overhead ratio may not
+#: exceed the inverse of: with the default 0.8, a measured ratio up to
+#: baseline / 0.8 (25% worse) still passes.  ``REPRO_BENCH_TOLERANCE``
+#: widens the floor without a code change, as for the other benches.
+REGRESSION_TOLERANCE = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.8"))
+
+FIGURE_PATH = "/v1/figure/fig12"
+
+
+def _median_seconds(fn, iterations: int) -> float:
+    samples = []
+    for _ in range(iterations):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _http_get(conn: http.client.HTTPConnection, path: str, headers=None) -> bytes:
+    conn.request("GET", path, headers=headers or {})
+    response = conn.getresponse()
+    body = response.read()
+    assert response.status in (200, 304), (path, response.status)
+    return body
+
+
+def measure(budget: float, max_layers: int, iterations: int, clients: int) -> dict:
+    cache_dir = tempfile.mkdtemp(prefix="bench-serve-cache-")
+    try:
+        settings = default_settings(
+            max_dense_macs=budget, max_layers_per_model=max_layers
+        )
+        session = Session(
+            settings,
+            runner=BatchRunner(parallel=False, cache=ResultCache(cache_dir)),
+        )
+        warm_start = time.perf_counter()
+        session.figure("fig12")  # populate the cache + the session memo
+        warmup_seconds = time.perf_counter() - warm_start
+
+        inproc = _median_seconds(
+            lambda: session.figure("fig12").to_json(), iterations
+        )
+
+        with BackgroundServer(session) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=120)
+            try:
+                etag_holder: dict[str, str] = {}
+
+                def over_http() -> None:
+                    conn.request("GET", FIGURE_PATH)
+                    response = conn.getresponse()
+                    etag_holder["etag"] = response.headers["ETag"]
+                    body = response.read()
+                    assert response.status == 200 and body
+
+                http_latency = _median_seconds(over_http, iterations)
+                revalidate = _median_seconds(
+                    lambda: _http_get(
+                        conn,
+                        FIGURE_PATH,
+                        {"If-None-Match": etag_holder["etag"]},
+                    ),
+                    iterations,
+                )
+            finally:
+                conn.close()
+
+            requests_per_client = max(1, iterations)
+            done = threading.Barrier(clients + 1)
+
+            def client() -> None:
+                worker = http.client.HTTPConnection(
+                    "127.0.0.1", server.port, timeout=120
+                )
+                try:
+                    for _ in range(requests_per_client):
+                        _http_get(worker, FIGURE_PATH)
+                finally:
+                    worker.close()
+                    done.wait()
+
+            start = time.perf_counter()
+            for _ in range(clients):
+                threading.Thread(target=client, daemon=True).start()
+            done.wait()
+            elapsed = time.perf_counter() - start
+
+        return {
+            "cold_warmup_seconds": round(warmup_seconds, 3),
+            "warm_inproc_ms": round(inproc * 1e3, 3),
+            "warm_http_ms": round(http_latency * 1e3, 3),
+            "revalidate_304_ms": round(revalidate * 1e3, 3),
+            "overhead_ratio": round(http_latency / inproc, 3),
+            "concurrent_clients": clients,
+            "throughput_rps": round(clients * requests_per_client / elapsed, 1),
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", type=float, default=2e5,
+        help="per-layer dense-MAC budget of the served settings",
+    )
+    parser.add_argument(
+        "--max-layers", type=int, default=3, help="sampled layers per model"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=30,
+        help="requests per latency median (and per client thread)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent keep-alive connections in the throughput phase",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="full measurement repeats; the best (lowest-overhead) run is "
+        "recorded so one noisy sample cannot fail the regression check",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="where to write the measurement record (default: BENCH_serve.json "
+        "when recording, bench-serve-measured.json with --check so the "
+        "committed baseline is never clobbered)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a committed baseline record and exit non-zero "
+        "when the serving overhead ratio regresses past the tolerance",
+    )
+    args = parser.parse_args(argv)
+    output = args.output or (
+        "bench-serve-measured.json" if args.check else "BENCH_serve.json"
+    )
+    baseline = json.loads(Path(args.check).read_text()) if args.check else None
+
+    best: dict | None = None
+    for _ in range(max(1, args.repeats)):
+        measured = measure(args.budget, args.max_layers, args.iterations, args.clients)
+        if best is None or measured["overhead_ratio"] < best["overhead_ratio"]:
+            best = measured
+    assert best is not None
+    record: dict = {
+        "figure": "fig12",
+        "max_dense_macs": args.budget,
+        "max_layers_per_model": args.max_layers,
+        "iterations": args.iterations,
+        "repeats": args.repeats,
+        **best,
+    }
+    for key in (
+        "warm_inproc_ms", "warm_http_ms", "revalidate_304_ms",
+        "overhead_ratio", "throughput_rps",
+    ):
+        print(f"{key:18s} {record[key]}", file=sys.stderr)
+
+    Path(output).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+
+    if baseline is not None:
+        ceiling = baseline["overhead_ratio"] / REGRESSION_TOLERANCE
+        if record["overhead_ratio"] > ceiling:
+            print(
+                f"FAIL: overhead ratio {record['overhead_ratio']}x exceeds "
+                f"{ceiling:.2f}x ({1 / REGRESSION_TOLERANCE:.0%} of the "
+                f"committed baseline {baseline['overhead_ratio']}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: overhead ratio {record['overhead_ratio']}x <= ceiling "
+            f"{ceiling:.2f}x (baseline {baseline['overhead_ratio']}x)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

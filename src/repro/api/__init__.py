@@ -29,8 +29,19 @@ from repro.api.requests import (
     SweepSpec,
     normalize_figure_id,
 )
-from repro.api.responses import FigureResult, SweepResult, jsonify_rows, sweep_row
-from repro.api.session import Session, default_session, shared_session
+from repro.api.responses import (
+    FigureResult,
+    SweepResult,
+    canonical_json,
+    jsonify_rows,
+    sweep_row,
+)
+from repro.api.session import (
+    Session,
+    default_session,
+    reset_shared_sessions,
+    shared_session,
+)
 
 __all__ = [
     "FIGURES",
@@ -43,9 +54,11 @@ __all__ = [
     "normalize_figure_id",
     "FigureResult",
     "SweepResult",
+    "canonical_json",
     "jsonify_rows",
     "sweep_row",
     "Session",
     "default_session",
+    "reset_shared_sessions",
     "shared_session",
 ]

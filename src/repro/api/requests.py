@@ -230,6 +230,17 @@ class FigureQuery:
         """Inverse of :meth:`to_record`."""
         return cls(**record)
 
+    def key(self) -> str:
+        """Stable content hash identifying this query across processes.
+
+        The same shape as :meth:`SweepSpec.key` — the serving front-end uses
+        it to coalesce concurrent identical queries and to address their
+        background jobs.  A ``"kind"`` discriminator inside the hashed
+        payload keeps the two request kinds' key spaces disjoint.
+        """
+        encoded = json.dumps({"kind": "figure", **self.to_record()}, sort_keys=True)
+        return hashlib.sha256(encoded.encode()).hexdigest()
+
 
 def normalize_figure_id(identifier: str) -> str:
     """Canonical figure id: lowercase, no punctuation, no leading zeros.

@@ -31,6 +31,17 @@ from repro.metrics.results import (
 )
 
 
+def canonical_json(record: object, *, indent: int | None = 2) -> str:
+    """Serialize a record to the canonical wire form of the public API.
+
+    Sorted keys make two serializations of equal records byte-identical (the
+    contract the CLI's byte-stability check and the serving front-end's
+    ``ETag`` handling rely on); ``allow_nan=False`` keeps the payload strict
+    JSON for any consumer.
+    """
+    return json.dumps(record, sort_keys=True, indent=indent, allow_nan=False)
+
+
 def _jsonify_value(value: object) -> RowValue:
     """Coerce one row value to a strictly-JSON-safe Python scalar."""
     if isinstance(value, enum.Enum):
@@ -95,8 +106,7 @@ class FigureResult:
         """Serialize to a canonical, strict JSON string (sorted keys, so two
         runs of the same query over the same settings compare byte-for-byte;
         ``allow_nan=False`` guards the wire contract)."""
-        return json.dumps(self.to_record(), sort_keys=True, indent=indent,
-                          allow_nan=False)
+        return canonical_json(self.to_record(), indent=indent)
 
     @classmethod
     def from_json(cls, payload: str) -> "FigureResult":
@@ -133,8 +143,7 @@ class SweepResult:
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """Serialize to a canonical, strict JSON string."""
-        return json.dumps(self.to_record(), sort_keys=True, indent=indent,
-                          allow_nan=False)
+        return canonical_json(self.to_record(), indent=indent)
 
     @classmethod
     def from_json(cls, payload: str) -> "SweepResult":

@@ -20,7 +20,7 @@ an :class:`~repro.experiments.ExperimentSettings`, a
 
 from __future__ import annotations
 
-import functools
+import threading
 
 from repro.api.figures import FigureDef, figure_ids, get_figure
 from repro.api.requests import FigureQuery, SweepSpec
@@ -89,6 +89,12 @@ class Session:
         self.runner = runner
         self._end_to_end: EndToEndResults | None = None
         self._layerwise: LayerwiseResults | None = None
+        # Sessions are shared between threads (the serving front-end answers
+        # every request through one), so the two grid memos are guarded: the
+        # first caller computes, concurrent callers block and then reuse the
+        # same results object.  Reentrant because a figure query may resolve
+        # both grids in one call chain.
+        self._grid_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -146,38 +152,51 @@ class Session:
     # ------------------------------------------------------------------
     # The shared experiment grids (memoized per session)
     # ------------------------------------------------------------------
-    def end_to_end(self) -> EndToEndResults:
-        """The end-to-end grid (Figs. 1/12/18, Table 2), run at most once."""
-        if self._end_to_end is None:
-            jobs, configs, sampled_specs = end_to_end_jobs(self.settings)
-            results = self.runner.run(jobs)
-            self._end_to_end = collate_end_to_end(
-                self.settings, configs, sampled_specs, results
-            )
-        return self._end_to_end
+    def end_to_end(self, on_result=None) -> EndToEndResults:
+        """The end-to-end grid (Figs. 1/12/18, Table 2), run at most once.
 
-    def layerwise(self) -> LayerwiseResults:
-        """The layer-wise grid (Figs. 13-16), run at most once."""
-        if self._layerwise is None:
-            jobs, scales = layerwise_jobs(self.settings)
-            results = self.runner.run(jobs)
-            self._layerwise = collate_layerwise(self.settings, scales, results)
-        return self._layerwise
+        ``on_result(done, total)`` observes the grid run's progress when this
+        call is the one that computes it; a caller that arrives while (or
+        after) another thread computes the grid reuses the memo and its
+        callback is never invoked.
+        """
+        with self._grid_lock:
+            if self._end_to_end is None:
+                jobs, configs, sampled_specs = end_to_end_jobs(self.settings)
+                results = self.runner.run(jobs, on_result=on_result)
+                self._end_to_end = collate_end_to_end(
+                    self.settings, configs, sampled_specs, results
+                )
+            return self._end_to_end
+
+    def layerwise(self, on_result=None) -> LayerwiseResults:
+        """The layer-wise grid (Figs. 13-16), run at most once.
+
+        ``on_result`` behaves as in :meth:`end_to_end`.
+        """
+        with self._grid_lock:
+            if self._layerwise is None:
+                jobs, scales = layerwise_jobs(self.settings)
+                results = self.runner.run(jobs, on_result=on_result)
+                self._layerwise = collate_layerwise(self.settings, scales, results)
+            return self._layerwise
 
     # ------------------------------------------------------------------
     # Declarative requests
     # ------------------------------------------------------------------
-    def figure(self, query: FigureQuery | str) -> FigureResult:
+    def figure(self, query: FigureQuery | str, *, on_result=None) -> FigureResult:
         """Answer one figure/table query.
 
         All simulation goes through the session's runner, so a warm result
         cache answers the query without executing a single job — the
         serving-from-cache behaviour of the ``python -m repro figure`` CLI.
+        ``on_result(done, total)`` observes the underlying grid run live (the
+        serving front-end streams it as job progress).
         """
         if not isinstance(query, FigureQuery):
             query = FigureQuery(query)
         definition = get_figure(query.figure)
-        rows = self._figure_rows(definition)
+        rows = self._figure_rows(definition, on_result)
         return FigureResult(
             figure=definition.figure,
             title=definition.title,
@@ -185,20 +204,24 @@ class Session:
             settings=self.settings.to_record(),
         )
 
-    def _figure_rows(self, definition: FigureDef) -> list[dict]:
+    def _figure_rows(self, definition: FigureDef, on_result=None) -> list[dict]:
         if definition.kind == "end_to_end":
-            return definition.rows(self.end_to_end())
+            return definition.rows(self.end_to_end(on_result=on_result))
         if definition.kind == "layerwise":
-            return definition.rows(self.layerwise())
+            return definition.rows(self.layerwise(on_result=on_result))
         if definition.kind == "area":
             return definition.rows(self.settings.config)
         assert definition.kind == "static", definition.kind
         return definition.rows()
 
-    def sweep(self, spec: SweepSpec) -> SweepResult:
-        """Run a declarative sweep grid and return its labelled rows."""
+    def sweep(self, spec: SweepSpec, *, on_result=None) -> SweepResult:
+        """Run a declarative sweep grid and return its labelled rows.
+
+        ``on_result(done, total)`` observes the grid run live, exactly as in
+        :meth:`run`.
+        """
         jobs, meta = spec.compile(self.settings)
-        results = self.runner.run(jobs)
+        results = self.runner.run(jobs, on_result=on_result)
         rows = [
             sweep_row(job_meta, result, config=job.config)
             for job_meta, job, result in zip(meta, jobs, results)
@@ -208,6 +231,33 @@ class Session:
             rows=jsonify_rows(rows),
             settings=self.settings.to_record(),
         )
+
+    def required_jobs(self, request: FigureQuery | SweepSpec | str) -> list[SimJob]:
+        """The simulation jobs answering ``request`` would submit right now.
+
+        The serving front-end's warmth probe: combined with
+        :meth:`ResultCache.missing` over the jobs' keys it classifies a
+        request as cache-warm (answer synchronously, zero executions) or
+        cold (run in the background) without executing anything.  Returns
+        ``[]`` for static/area figures and for grids this session has
+        already memoized.
+
+        Deliberately does **not** take the grid lock: a probe must stay
+        responsive while another thread is mid-computation, and the plain
+        memo read is safe — at worst a concurrent computation finishes just
+        after the read and the "required" jobs all turn out to be cache
+        hits, which the serving path handles anyway.
+        """
+        if isinstance(request, SweepSpec):
+            jobs, _meta = request.compile(self.settings)
+            return jobs
+        query = request if isinstance(request, FigureQuery) else FigureQuery(request)
+        definition = get_figure(query.figure)
+        if definition.kind == "end_to_end" and self._end_to_end is None:
+            return end_to_end_jobs(self.settings)[0]
+        if definition.kind == "layerwise" and self._layerwise is None:
+            return layerwise_jobs(self.settings)[0]
+        return []
 
     # ------------------------------------------------------------------
     # Cache maintenance
@@ -247,15 +297,50 @@ class Session:
 # ----------------------------------------------------------------------
 # Shared sessions (what the deprecated free-function shims delegate to)
 # ----------------------------------------------------------------------
-@functools.lru_cache(maxsize=4)
+#: Most settings values whose shared session is kept alive at once (the
+#: bound the old ``lru_cache(maxsize=4)`` implementation enforced).
+_SHARED_SESSION_LIMIT = 4
+
+_shared_sessions: dict[ExperimentSettings, Session] = {}
+_shared_sessions_lock = threading.Lock()
+
+
 def shared_session(settings: ExperimentSettings) -> Session:
     """The process-wide session for one settings value.
 
     Backed by the process-wide :func:`~repro.runtime.default_runner`, so the
     in-process memo and the runner's stats are shared between the facade and
-    any legacy free-function call sites that run the same settings.
+    any legacy free-function call sites that run the same settings.  The
+    registry is lock-guarded (concurrent first calls observe one session,
+    never two), LRU-bounded to :data:`_SHARED_SESSION_LIMIT` settings values
+    and explicitly droppable via :func:`reset_shared_sessions`.
     """
-    return Session(settings, runner=default_runner())
+    with _shared_sessions_lock:
+        session = _shared_sessions.get(settings)
+        if session is None:
+            session = Session(settings, runner=default_runner())
+            _shared_sessions[settings] = session
+            while len(_shared_sessions) > _SHARED_SESSION_LIMIT:
+                _shared_sessions.pop(next(iter(_shared_sessions)))
+        else:
+            # Refresh recency so the bound evicts the least recently used.
+            _shared_sessions[settings] = _shared_sessions.pop(settings)
+        return session
+
+
+def reset_shared_sessions() -> None:
+    """Drop every memoized shared session.
+
+    Sessions capture the runner — and through it the cache directory — that
+    the environment named when they were first built, so anything that
+    re-points ``REPRO_CACHE_DIR``/``REPRO_*`` (the test suite's hermetic
+    fixtures above all) must drop the registry or later ``shared_session``
+    calls keep answering from the stale environment.  Pair with
+    :func:`repro.runtime.reset_default_runners`, which this intentionally
+    does not call (other live sessions may still hold the default runner).
+    """
+    with _shared_sessions_lock:
+        _shared_sessions.clear()
 
 
 def default_session() -> Session:

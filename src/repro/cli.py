@@ -5,7 +5,8 @@ Subcommands::
     python -m repro figure fig12              # rows of one figure, as JSON
     python -m repro figure fig13 --table      # ... or as an aligned table
     python -m repro sweep --models SQ --designs Flexagon,GAMMA-like
-    python -m repro cache stats               # entries + size
+    python -m repro serve --port 8734         # HTTP/JSON server over the cache
+    python -m repro cache stats               # entries + size (--json for wire form)
     python -m repro cache clear               # drop every entry
     python -m repro cache prune --max-size-mb 64   # LRU-evict down to a bound
     python -m repro list                      # figures, models, layers, designs
@@ -205,10 +206,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_server
+
+    # The live N/M progress counter would interleave with the serve log on
+    # one stderr stream; background jobs report progress over HTTP instead.
+    if args.progress is None:
+        args.progress = False
+    session = _session_from_args(args)
+    return run_server(session, host=args.host, port=args.port)
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     if args.cache_command == "stats":
         report = cache.stats_report()
+        if args.json:
+            # The same serializer the server's /v1/cache/stats endpoint
+            # uses, so dashboards scrape one format from either surface.
+            from repro.serve.wire import cache_stats_record, dump_body
+
+            sys.stdout.buffer.write(dump_body(cache_stats_record(report)))
+            return 0
         entries = report["entries"]
         scan_seconds = report["scan_seconds"]
         throughput = entries / scan_seconds if scan_seconds > 0 else 0.0
@@ -235,6 +254,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     what = args.what
+    if args.json:
+        from repro.serve.wire import catalog_record, dump_body, figures_record
+
+        record = figures_record() if what == "figures" else catalog_record()
+        if what in ("models", "layers", "designs"):
+            record = {key: record[key] for key in ("kind", "schema", what)}
+        sys.stdout.buffer.write(dump_body(record))
+        return 0
     if what in ("figures", "all"):
         print("figures:")
         for definition in FIGURES.values():
@@ -306,13 +333,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
+    serve = subparsers.add_parser(
+        "serve", help="serve figure/sweep queries over HTTP/JSON"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8734, metavar="N",
+        help="TCP port (default: 8734; 0 picks a free port)",
+    )
+    _add_settings_args(serve)
+    _add_runner_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
     cache = subparsers.add_parser("cache", help="inspect or maintain the result cache")
     cache.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
-    cache_sub.add_parser("stats", help="entry count and size")
+    stats = cache_sub.add_parser("stats", help="entry count and size")
+    stats.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (the /v1/cache/stats wire format)",
+    )
     cache_sub.add_parser("clear", help="drop every entry")
     prune = cache_sub.add_parser(
         "prune", help="evict least-recently-written entries down to a size bound"
@@ -329,6 +375,10 @@ def build_parser() -> argparse.ArgumentParser:
     lister.add_argument(
         "what", nargs="?", default="all",
         choices=("all", "figures", "models", "layers", "designs"),
+    )
+    lister.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (the serving front-end's wire format)",
     )
     lister.set_defaults(func=_cmd_list)
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -76,6 +77,10 @@ class ResultCache:
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self._memory: OrderedDict[str, bytes] = OrderedDict()
+        # One cache instance is shared by concurrent BatchRunner.run() calls
+        # (the serving front-end's background jobs); the recency reordering
+        # and bound eviction must not race each other's lookups.
+        self._memory_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -88,7 +93,7 @@ class ResultCache:
 
     def get(self, key: str):
         """The cached result for ``key``, or :data:`MISS`."""
-        blob = self._memory.get(key)
+        blob = self._memory_get(key)
         if blob is None:
             path = self.path_for(key)
             try:
@@ -101,9 +106,15 @@ class ResultCache:
                     return MISS
                 self._migrate_legacy(key)
             self._remember(key, blob)
-        else:
-            self._memory.move_to_end(key)
         return self._decode(key, blob)
+
+    def _memory_get(self, key: str) -> bytes | None:
+        """Memory-level lookup, refreshing the entry's LRU recency."""
+        with self._memory_lock:
+            blob = self._memory.get(key)
+            if blob is not None:
+                self._memory.move_to_end(key)
+            return blob
 
     def get_many(self, keys: list[str]) -> dict[str, object]:
         """Batched lookup: the subset of ``keys`` that are cached, decoded.
@@ -118,9 +129,8 @@ class ResultCache:
         found: dict[str, object] = {}
         need: dict[str, list[str]] = {}
         for key in dict.fromkeys(keys):
-            blob = self._memory.get(key)
+            blob = self._memory_get(key)
             if blob is not None:
-                self._memory.move_to_end(key)
                 value = self._decode(key, blob)
                 if value is not MISS:
                     found[key] = value
@@ -151,13 +161,51 @@ class ResultCache:
                     found[key] = value
         return found
 
+    def missing(self, keys: list[str]) -> list[str]:
+        """The subset of ``keys`` with no cache entry, without reading any.
+
+        A pure existence probe: each needed shard (and the flat legacy
+        level, when some key falls back to it) is listed once and no entry
+        file is ever opened or decoded — the cost profile the serving
+        front-end needs to classify a request as cache-warm or cold before
+        deciding whether to answer synchronously.  A torn entry that
+        :meth:`get` would treat as a miss can therefore still count as
+        present here; the serving path tolerates that by re-running the jobs
+        the subsequent full read reports missing.
+        """
+        absent: list[str] = []
+        need: dict[str, list[str]] = {}
+        with self._memory_lock:
+            remembered = set(self._memory)
+        for key in dict.fromkeys(keys):
+            if key in remembered:
+                continue
+            need.setdefault(key[:2], []).append(key)
+        if not need:
+            return absent
+        if not self.directory.is_dir():
+            return [key for shard_keys in need.values() for key in shard_keys]
+        flat_names: set[str] | None = None
+        for prefix, shard_keys in need.items():
+            names = _list_dir(self.directory / prefix)
+            for key in shard_keys:
+                file_name = f"{key}.pkl"
+                if file_name in names:
+                    continue
+                if flat_names is None:
+                    flat_names = _list_dir(self.directory)
+                if file_name not in flat_names:
+                    absent.append(key)
+        return absent
+
     def _decode(self, key: str, blob: bytes):
         try:
             return pickle.loads(blob)
         except Exception:
             # A torn or stale entry (e.g. written by an incompatible version)
             # is indistinguishable from a miss; drop it so it gets rebuilt.
-            self._memory.pop(key, None)
+            with self._memory_lock:
+                self._memory.pop(key, None)
             self.path_for(key).unlink(missing_ok=True)
             self.legacy_path_for(key).unlink(missing_ok=True)
             return MISS
@@ -173,10 +221,11 @@ class ResultCache:
         return path
 
     def _remember(self, key: str, blob: bytes) -> None:
-        self._memory[key] = blob
-        self._memory.move_to_end(key)
-        while len(self._memory) > MEMORY_ENTRY_LIMIT:
-            self._memory.popitem(last=False)
+        with self._memory_lock:
+            self._memory[key] = blob
+            self._memory.move_to_end(key)
+            while len(self._memory) > MEMORY_ENTRY_LIMIT:
+                self._memory.popitem(last=False)
 
     def put(self, key: str, value: object) -> None:
         """Store one finished result under ``key``."""
@@ -210,7 +259,8 @@ class ResultCache:
         Also sweeps ``*.tmp`` files a killed writer may have stranded
         between ``mkstemp`` and ``os.replace``.
         """
-        self._memory.clear()
+        with self._memory_lock:
+            self._memory.clear()
         removed = 0
         for path in list(self._entry_paths()):
             path.unlink(missing_ok=True)
@@ -247,7 +297,8 @@ class ResultCache:
             if total <= max_size_bytes:
                 break
             path.unlink(missing_ok=True)
-            self._memory.pop(key, None)
+            with self._memory_lock:
+                self._memory.pop(key, None)
             total -= size
             freed += size
             removed += 1

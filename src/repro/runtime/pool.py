@@ -23,6 +23,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
 
 #: Valid values of the ``REPRO_POOL`` environment knob.
@@ -52,19 +53,29 @@ class WorkerPool:
 
     The underlying executor is built on the first :meth:`executor` call and
     handed back to every later caller.  Asking for *more* workers than the
-    pool currently has replaces it with a wider one (the old workers finish
-    their queues and exit); asking for fewer just leaves the extra workers
-    idle, which costs nothing while they wait.
+    pool currently has installs a wider executor; asking for fewer just
+    leaves the extra workers idle, which costs nothing while they wait.
+
+    Safe under concurrent batches (the serving front-end runs several
+    :meth:`BatchRunner.run` calls at once): creation and replacement are
+    lock-guarded, and a replaced executor is *retired*, never torn down in
+    place — a concurrent batch still submitting to it finishes on the old
+    (narrower) pool, and the retiree is reaped by :meth:`shutdown` /
+    atexit.  Growth happens at most a handful of times per process, so the
+    idle retirees are a bounded cost.
     """
 
     def __init__(self) -> None:
         self._executor: ProcessPoolExecutor | None = None
         self._width = 0
+        self._retired: list[ProcessPoolExecutor] = []
+        self._lock = threading.Lock()
 
     @property
     def width(self) -> int:
         """Worker count of the live executor (0 when none exists yet)."""
-        return self._width if self._executor is not None else 0
+        with self._lock:
+            return self._width if self._executor is not None else 0
 
     def executor(self, max_workers: int) -> ProcessPoolExecutor:
         """The shared executor, (re)built to hold at least ``max_workers``.
@@ -75,23 +86,32 @@ class WorkerPool:
         """
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        if self._executor is not None and (
-            self._width < max_workers or getattr(self._executor, "_broken", False)
-        ):
-            self.shutdown()
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=max_workers, mp_context=pool_context()
-            )
-            self._width = max_workers
-        return self._executor
+        with self._lock:
+            if self._executor is not None and (
+                self._width < max_workers
+                or getattr(self._executor, "_broken", False)
+            ):
+                self._retired.append(self._executor)
+                self._executor = None
+                self._width = 0
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=max_workers, mp_context=pool_context()
+                )
+                self._width = max_workers
+            return self._executor
 
     def shutdown(self) -> None:
-        """Tear the executor down (it is lazily rebuilt on next use)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
+        """Tear down the executor and every retiree (lazily rebuilt on use)."""
+        with self._lock:
+            executors = list(self._retired)
+            if self._executor is not None:
+                executors.append(self._executor)
             self._executor = None
             self._width = 0
+            self._retired = []
+        for executor in executors:
+            executor.shutdown(wait=True, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------

@@ -49,8 +49,15 @@ import functools
 import heapq
 import math
 import os
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Callable
 
@@ -76,6 +83,12 @@ ProgressCallback = Callable[[int, int], None]
 #: sized to hold one layer across every design (5 jobs) with headroom, so
 #: small batches keep their worker affinity instead of scattering.
 _MIN_GROUP_SPLIT = 8
+
+#: Width of the per-runner submission thread pool behind
+#: :meth:`BatchRunner.submit`.  Submission threads only dispatch to (and
+#: wait on) the process pool, so a handful is plenty; it bounds how many
+#: batches can be in flight concurrently, not how many cores they use.
+_SUBMIT_THREADS = 4
 
 
 def _env_parallel() -> bool:
@@ -169,6 +182,13 @@ class BatchRunner:
         #: Default progress callback applied to every :meth:`run` call.
         self.on_result = on_result
         self.stats = RunnerStats()
+        #: Guards the counters: :meth:`run` may be entered from several
+        #: threads at once (the serving front-end's background jobs), and
+        #: ``+=`` on a dataclass attribute is not atomic.
+        self._stats_lock = threading.Lock()
+        #: Lazily created thread pool behind :meth:`submit`.
+        self._submit_pool: ThreadPoolExecutor | None = None
+        self._submit_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def run(
@@ -186,7 +206,8 @@ class BatchRunner:
         callback = on_result if on_result is not None else self.on_result
         jobs = list(jobs)
         total = len(jobs)
-        self.stats.submitted += total
+        with self._stats_lock:
+            self.stats.submitted += total
         results: list = [None] * total
 
         # Batched pre-dispatch cache scan over the unique keys.
@@ -204,9 +225,11 @@ class BatchRunner:
             _job, indices = unique[key]
             for index in indices:
                 results[index] = value
-            self.stats.cache_hits += len(indices)
+            with self._stats_lock:
+                self.stats.cache_hits += len(indices)
             done += len(indices)
-        self.stats.cache_scan_seconds += time.perf_counter() - scan_start
+        with self._stats_lock:
+            self.stats.cache_scan_seconds += time.perf_counter() - scan_start
         if callback is not None and total:
             callback(done, total)
 
@@ -214,12 +237,14 @@ class BatchRunner:
             (key, job) for key, (job, _indices) in unique.items() if key not in hits
         ]
         for _key, _job in misses:
-            self.stats.cache_misses += len(unique[_key][1])
+            with self._stats_lock:
+                self.stats.cache_misses += len(unique[_key][1])
         if misses:
             exec_start = time.perf_counter()
             try:
                 for key, outcome in self._execute_stream(misses):
-                    self.stats.executed += 1
+                    with self._stats_lock:
+                        self.stats.executed += 1
                     if self.cache is not None:
                         self.cache.put(key, outcome)
                     _job, indices = unique[key]
@@ -232,8 +257,37 @@ class BatchRunner:
                     if callback is not None:
                         callback(done, total)
             finally:
-                self.stats.exec_seconds += time.perf_counter() - exec_start
+                with self._stats_lock:
+                    self.stats.exec_seconds += time.perf_counter() - exec_start
         return results
+
+    def submit(
+        self, jobs: list[SimJob], on_result: ProgressCallback | None = None
+    ) -> Future:
+        """Run a job grid off the calling thread; returns a ``Future``.
+
+        The asynchronous face of :meth:`run` for embedders driving raw job
+        grids from an event loop: the batch executes on a small dedicated
+        submission thread pool, so ``await
+        asyncio.wrap_future(runner.submit(jobs))`` never blocks the loop,
+        while ``on_result`` streams ``(done, total)`` progress from the
+        submission thread.  (The ``repro.serve`` front-end goes through
+        :class:`~repro.api.session.Session` instead, whose figure/sweep
+        calls wrap :meth:`run` with collation — this is the equivalent hook
+        for callers below the facade.)  Concurrent batches are safe — the
+        counters are lock-guarded and the process pool dispatch already
+        bounds each batch's in-flight window — though they share the pool's
+        workers.
+        """
+        pool = self._submit_pool
+        if pool is None:
+            with self._submit_lock:
+                pool = self._submit_pool
+                if pool is None:
+                    pool = self._submit_pool = ThreadPoolExecutor(
+                        max_workers=_SUBMIT_THREADS, thread_name_prefix="repro-submit"
+                    )
+        return pool.submit(self.run, jobs, on_result)
 
     def run_one(self, job: SimJob):
         """Convenience wrapper: run a single job."""
@@ -255,7 +309,8 @@ class BatchRunner:
         if not self.parallel or len(misses) < 2:
             run = functools.partial(execute_job, trial_cache=self.cache)
             if misses:
-                self.stats.peak_in_flight = max(self.stats.peak_in_flight, 1)
+                with self._stats_lock:
+                    self.stats.peak_in_flight = max(self.stats.peak_in_flight, 1)
             for chunk in self._plan_chunks(misses):
                 for key, job in chunk:
                     yield key, run(job)
@@ -288,9 +343,10 @@ class BatchRunner:
             while len(outstanding) < workers and submit_next():
                 pass
             while outstanding:
-                self.stats.peak_in_flight = max(
-                    self.stats.peak_in_flight, len(outstanding)
-                )
+                with self._stats_lock:
+                    self.stats.peak_in_flight = max(
+                        self.stats.peak_in_flight, len(outstanding)
+                    )
                 completed, still_running = wait(
                     outstanding, return_when=FIRST_COMPLETED
                 )

@@ -1,0 +1,317 @@
+"""The async HTTP/JSON application: routes onto one shared ``Session``.
+
+Endpoints (all JSON; see the README's "Serving" section for curl examples):
+
+========================  =====================================================
+``GET /healthz``          liveness probe
+``GET /v1/figures``       every answerable figure/table
+``GET /v1/figure/<id>``   one figure's rows — ``200`` warm, ``202`` + job cold
+``POST /v1/sweep``        a ``SweepSpec`` record — ``200`` warm, ``202`` cold
+``GET /v1/jobs/<key>``    poll a background job — ``202`` running, ``200`` done
+``GET /v1/cache/stats``   result-cache + runner telemetry
+========================  =====================================================
+
+Request handling never blocks the event loop on simulation: warm responses
+are collated on a worker thread (``asyncio.to_thread``) and cold requests
+run as background :class:`~repro.serve.executor.ServeJob` tasks.  Responses
+carry a strong ``ETag`` derived from (request key, schema versions,
+settings) — see :func:`repro.serve.wire.request_etag` — and
+``If-None-Match`` is answered with ``304`` before any work happens.  The
+``X-Repro-Jobs-Executed`` header reports how many simulation jobs a response
+actually executed; a warm hit reports ``0``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+
+from repro.api.figures import get_figure
+from repro.api.requests import FigureQuery
+from repro.api.session import Session
+from repro.serve.executor import DONE, FAILED, JobManager, ServeJob
+from repro.serve.http import (
+    ALLOWED_METHODS,
+    HttpError,
+    Request,
+    Response,
+    encode_response,
+    read_request,
+)
+from repro.serve import wire
+
+#: Telemetry header: simulation jobs executed to produce this response.
+EXECUTED_HEADER = "X-Repro-Jobs-Executed"
+
+
+class ServeApp:
+    """Router + connection handler over one session and its job manager."""
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self.manager = JobManager(session)
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = False
+                try:
+                    request = await read_request(reader)
+                    if request is None:
+                        break
+                    keep_alive = not request.wants_close()
+                    response = await self.dispatch(request)
+                except HttpError as error:
+                    response = self._error(error.status, error.message)
+                except Exception as error:  # route bug: report, keep serving
+                    response = self._error(500, f"{type(error).__name__}: {error}")
+                writer.write(encode_response(response, keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this handler (typically parked on a
+            # keep-alive read).  Ending normally keeps asyncio's stream
+            # callback from logging the cancellation as an error; the task
+            # is finished either way.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: Request) -> Response:
+        if request.method not in ALLOWED_METHODS:
+            return self._error(405, f"method {request.method} not allowed")
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            return self._json(200, wire.health_record())
+        if path == "/v1/figures":
+            return self._json(200, wire.figures_record())
+        if path == "/v1/cache/stats":
+            report = await asyncio.to_thread(self.session.cache_stats)
+            return self._json(200, wire.cache_stats_record(report))
+        if path.startswith("/v1/figure/"):
+            if request.method != "GET":
+                return self._error(405, "figure queries are GET")
+            return await self._figure(request, path.removeprefix("/v1/figure/"))
+        if path == "/v1/sweep":
+            if request.method != "POST":
+                return self._error(405, "sweeps are POST (a SweepSpec record)")
+            return await self._sweep(request)
+        if path.startswith("/v1/jobs/"):
+            return self._job(path.removeprefix("/v1/jobs/"))
+        return self._error(404, f"no route for {request.path}")
+
+    # ------------------------------------------------------------------
+    # Figure / sweep: warm-sync or cold-202
+    # ------------------------------------------------------------------
+    async def _figure(self, request: Request, identifier: str) -> Response:
+        try:
+            query = FigureQuery(identifier)
+            get_figure(query.figure)
+        except (ValueError, KeyError) as error:
+            return self._error(404, str(error).strip('"'))
+        return await self._answer(request, "figure", query, query.key())
+
+    async def _sweep(self, request: Request) -> Response:
+        try:
+            spec = wire.sweep_spec_from_payload(request.body)
+        except ValueError as error:
+            return self._error(400, str(error))
+        return await self._answer(request, "sweep", spec, spec.key())
+
+    async def _answer(self, request: Request, kind: str, obj, key: str) -> Response:
+        etag = wire.request_etag(kind, key, self.session.settings)
+        if wire.etag_matches(request.headers.get("if-none-match"), etag):
+            return Response(status=304, headers={"ETag": etag})
+        # Coalescing fast path: an identical request already in flight
+        # answers with its job envelope before any warmth probing — and a
+        # finished one serves its stored body outright.  Responses are
+        # deterministic functions of (request, settings), so the stored
+        # bytes can never go stale; this is also what spares a repeat
+        # request the probe's grid compile + key hashing.
+        job = self.manager.get(key)
+        if job is not None:
+            if not job.finished.is_set():
+                return self._job_envelope(job, status=202)
+            if job.status == DONE and job.body is not None:
+                return Response(
+                    status=200,
+                    body=job.body,
+                    headers={"ETag": etag, EXECUTED_HEADER: "0"},
+                )
+        pending, grid_total = await asyncio.to_thread(self.manager.classify, obj)
+        if pending:
+            job, created = self.manager.coalesce(key, kind, obj, grid_total)
+            if created:
+                self.manager.start(job, etag)
+            return self._job_envelope(job, status=202)
+        body, executed = await asyncio.to_thread(self.manager.render, obj)
+        return Response(
+            status=200,
+            body=body,
+            headers={"ETag": etag, EXECUTED_HEADER: str(executed)},
+        )
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def _job(self, key: str) -> Response:
+        job = self.manager.get(key)
+        if job is None:
+            return self._error(404, f"no such job {key!r}")
+        status = job.status
+        if status == DONE:
+            assert job.body is not None and job.etag is not None
+            return Response(
+                status=200,
+                body=job.body,
+                headers={"ETag": job.etag, EXECUTED_HEADER: str(job.executed)},
+            )
+        if status == FAILED:
+            snapshot = job.snapshot()
+            return self._json(
+                500, wire.error_record(500, snapshot.get("error", "job failed"))
+            )
+        return self._job_envelope(job, status=202)
+
+    def _job_envelope(self, job: ServeJob, *, status: int) -> Response:
+        record = wire.job_record(job.snapshot())
+        return Response(
+            status=status,
+            body=wire.dump_body(record),
+            headers={"Location": record["url"], "Retry-After": "1"},
+        )
+
+    # ------------------------------------------------------------------
+    def _json(self, status: int, record: dict) -> Response:
+        return Response(status=status, body=wire.dump_body(record))
+
+    def _error(self, status: int, message: str) -> Response:
+        return self._json(status, wire.error_record(status, message))
+
+
+# ----------------------------------------------------------------------
+# Running a server
+# ----------------------------------------------------------------------
+async def start_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Bind and start serving ``app``; the caller owns the returned server."""
+    return await asyncio.start_server(app.handle_connection, host, port)
+
+
+def run_server(
+    session: Session, host: str = "127.0.0.1", port: int = 8734
+) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+
+    async def main(app: ServeApp) -> None:
+        server = await start_server(app, host, port)
+        bound = server.sockets[0].getsockname()
+        print(
+            f"[repro.serve] listening on http://{bound[0]}:{bound[1]} "
+            f"(cache: {session.cache.directory if session.cache else 'disabled'})",
+            file=sys.stderr,
+            flush=True,
+        )
+        async with server:
+            await server.serve_forever()
+
+    app = ServeApp(session)
+    try:
+        asyncio.run(main(app))
+    except KeyboardInterrupt:
+        print("[repro.serve] shutting down", file=sys.stderr)
+    finally:
+        app.manager.close()
+    return 0
+
+
+class BackgroundServer:
+    """A server on its own event-loop thread (tests, benches, notebooks).
+
+    ::
+
+        with BackgroundServer(Session(...)) as server:
+            urllib.request.urlopen(server.url + "/healthz")
+    """
+
+    def __init__(
+        self, session: Session, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = ServeApp(session)
+        self.host = host
+        self.port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                start_server(self.app, self.host, self.port)
+            )
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            # Cancel handler tasks *before* wait_closed(): idle keep-alive
+            # connections park their handlers on a read, and on Python >=
+            # 3.12.1 wait_closed() blocks until every connection is gone —
+            # waiting first would deadlock on exactly the tasks this drains.
+            tasks = asyncio.all_tasks(loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True)
+                )
+            loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.app.manager.close()

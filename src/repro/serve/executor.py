@@ -1,0 +1,252 @@
+"""Background job manager of the serving front-end.
+
+The split the server is built around: a request whose every simulation job
+is already in the result cache is **warm** and is answered in the request
+handler (zero engine executions — the collation work left is milliseconds);
+anything else is **cold** and runs as a background :class:`ServeJob`, with
+the client polling a ``/v1/jobs/<key>`` URL that streams the runner's
+``on_result`` progress until the finished body is ready.
+
+Concurrent identical requests are **coalesced**: jobs are registered under
+the request's content key (:meth:`FigureQuery.key` / :meth:`SweepSpec.key`),
+so N clients asking for the same cold figure share one in-flight
+computation and one result.  Requests that are distinct but overlap (fig12
+and fig18 both need the end-to-end grid) still compute once, because grid
+computation is serialized and memoized inside the shared
+:class:`~repro.api.session.Session` — the second job blocks on the
+session's grid lock and then renders from the memo.
+
+Everything here is thread-aware by construction: job state is mutated from
+the background thread that runs the simulation and read from the event
+loop, so each job guards its fields with a lock and exposes an immutable
+:meth:`~ServeJob.snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.api.requests import FigureQuery, SweepSpec
+from repro.api.session import Session
+from repro.runtime import SimJob
+
+#: Job lifecycle states (the ``status`` field of the job envelope).
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Finished jobs kept for late pollers before the oldest are dropped.
+FINISHED_JOBS_KEPT = 64
+
+#: Width of the manager's dedicated job thread pool.  Cold jobs must not
+#: run on the event loop's default executor: that pool is shared with the
+#: warm-path ``asyncio.to_thread`` renders and the warmth probes, which a
+#: few long simulations would otherwise starve.
+MAX_CONCURRENT_JOBS = 4
+
+
+class ServeJob:
+    """One background computation, addressed by its request's content key."""
+
+    def __init__(self, key: str, kind: str, request, total: int) -> None:
+        #: Request content key (also the job's URL segment).
+        self.key = key
+        #: ``"figure"`` or ``"sweep"``.
+        self.kind = kind
+        #: The :class:`FigureQuery` / :class:`SweepSpec` being answered.
+        self.request = request
+        self._lock = threading.Lock()
+        self._status = PENDING
+        self._done = 0
+        self._total = total
+        self._error: str | None = None
+        #: Finished response body (the same bytes the warm path serves).
+        self.body: bytes | None = None
+        self.etag: str | None = None
+        #: Engine-grid jobs this computation actually executed.
+        self.executed = 0
+        #: Set once the job is done or failed (tests and benches wait on it).
+        self.finished = threading.Event()
+
+    # -- mutation (background thread) ----------------------------------
+    def progress(self, done: int, total: int) -> None:
+        """Runner ``on_result`` callback: stream live (done, total)."""
+        with self._lock:
+            self._status = RUNNING
+            self._done = done
+            self._total = total
+
+    def start(self) -> None:
+        with self._lock:
+            if self._status == PENDING:
+                self._status = RUNNING
+
+    def finish(self, body: bytes, etag: str, executed: int) -> None:
+        with self._lock:
+            self._status = DONE
+            self._done = self._total
+            self.body = body
+            self.etag = etag
+            self.executed = executed
+        self.finished.set()
+
+    def fail(self, message: str) -> None:
+        with self._lock:
+            self._status = FAILED
+            self._error = message
+        self.finished.set()
+
+    # -- observation (event loop) --------------------------------------
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    def snapshot(self) -> dict:
+        """Consistent, JSON-safe view of the job's state."""
+        with self._lock:
+            record: dict = {
+                "key": self.key,
+                "request_kind": self.kind,
+                "request": self.request.to_record(),
+                "status": self._status,
+                "done": self._done,
+                "total": self._total,
+            }
+            if self._error is not None:
+                record["error"] = self._error
+            return record
+
+
+class _ExecutionCounter:
+    """Per-call executed-job counter fed by run-progress callbacks.
+
+    The runner's ``on_result`` fires once after the cache scan and then once
+    per job executed in *that* ``run`` call, so counting invocations past
+    the first measures this request's own executions — unlike a delta over
+    the session-wide :class:`RunnerStats`, which concurrent requests on the
+    same session would corrupt.
+    """
+
+    def __init__(self, forward=None) -> None:
+        self.executed = 0
+        self._scan_seen = False
+        self._forward = forward
+
+    def __call__(self, done: int, total: int) -> None:
+        if self._scan_seen:
+            self.executed += 1
+        else:
+            self._scan_seen = True
+        if self._forward is not None:
+            self._forward(done, total)
+
+
+class JobManager:
+    """Registry of background jobs over one shared :class:`Session`."""
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self._jobs: dict[str, ServeJob] = {}
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=MAX_CONCURRENT_JOBS, thread_name_prefix="repro-serve-job"
+        )
+
+    # ------------------------------------------------------------------
+    # Warmth probe
+    # ------------------------------------------------------------------
+    def classify(self, request: FigureQuery | SweepSpec) -> tuple[list[SimJob], int]:
+        """``(still-missing jobs, full grid size)`` for one request.
+
+        No missing jobs means warm: every needed job is memoized or already
+        in the result cache, so the request can be answered synchronously
+        with zero engine executions.  The probe never opens a cache entry —
+        :meth:`ResultCache.missing` works from shard listings alone.  The
+        grid size is what a cold job advertises as its progress ``total``:
+        the runner's ``on_result`` counts cache hits as instantly done, so
+        the denominator must be the whole grid, not just the misses.
+        """
+        jobs = self.session.required_jobs(request)
+        if not jobs:
+            return [], 0
+        cache = self.session.cache
+        if cache is None:
+            return jobs, len(jobs)
+        keys = [job.key() for job in jobs]
+        absent = set(cache.missing(keys))
+        return [job for job, key in zip(jobs, keys) if key in absent], len(jobs)
+
+    # ------------------------------------------------------------------
+    # Submission + coalescing
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> ServeJob | None:
+        with self._lock:
+            return self._jobs.get(key)
+
+    def coalesce(self, key: str, kind: str, request, total: int) -> tuple[ServeJob, bool]:
+        """The in-flight job for ``key``, creating one if none is running.
+
+        Returns ``(job, created)``; ``created`` tells the caller to actually
+        start the computation.  A finished job under the same key is only
+        replaced because the caller just re-classified the request as cold
+        (e.g. the cache was cleared since), so a fresh run is wanted.
+        """
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is not None and not job.finished.is_set():
+                return job, False
+            job = ServeJob(key, kind, request, total)
+            self._jobs[key] = job
+            self._evict_finished()
+            return job, True
+
+    def _evict_finished(self) -> None:
+        finished = [k for k, job in self._jobs.items() if job.finished.is_set()]
+        for key in finished[: max(0, len(finished) - FINISHED_JOBS_KEPT)]:
+            del self._jobs[key]
+
+    # ------------------------------------------------------------------
+    # Execution (on the manager's dedicated thread pool)
+    # ------------------------------------------------------------------
+    def start(self, job: ServeJob, etag: str) -> Future:
+        """Dispatch one created job onto the manager's thread pool."""
+        return self._pool.submit(self.run_job, job, etag)
+
+    def run_job(self, job: ServeJob, etag: str) -> None:
+        """Compute the job's response body; never raises (fails the job)."""
+        job.start()
+        try:
+            body, executed = self.render(job.request, on_result=job.progress)
+        except Exception as error:  # the failure belongs to the poller
+            job.fail(f"{type(error).__name__}: {error}")
+            return
+        job.finish(body, etag, executed)
+
+    def render(self, request, on_result=None) -> tuple[bytes, int]:
+        """The response body for ``request``, plus jobs executed to build it.
+
+        The body is byte-identical to ``python -m repro figure|sweep``
+        output: the canonical JSON of the response record plus a trailing
+        newline.  The executed count comes from this call's own progress
+        stream (:class:`_ExecutionCounter`), so concurrent requests on the
+        shared session can never bleed into each other's telemetry.
+        """
+        counter = _ExecutionCounter(on_result)
+        if isinstance(request, SweepSpec):
+            payload = self.session.sweep(request, on_result=counter).to_json()
+        else:
+            payload = self.session.figure(request, on_result=counter).to_json()
+        return (payload + "\n").encode("utf-8"), counter.executed
+
+    def close(self) -> None:
+        """Stop accepting jobs and drop queued ones.
+
+        Running jobs finish on their own threads (a simulation cannot be
+        interrupted mid-flight), but anything still queued is cancelled —
+        otherwise the pool's non-daemon workers would drain the whole queue
+        before interpreter exit lets go.
+        """
+        self._pool.shutdown(wait=False, cancel_futures=True)

@@ -15,7 +15,29 @@ import os
 import shutil
 import tempfile
 
+import pytest
+
 if "REPRO_CACHE_DIR" not in os.environ:
     _cache_dir = tempfile.mkdtemp(prefix="repro-test-cache-")
     os.environ["REPRO_CACHE_DIR"] = _cache_dir
     atexit.register(shutil.rmtree, _cache_dir, ignore_errors=True)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _shared_session_hygiene():
+    """Pin the shared-session registry to this session's environment.
+
+    ``shared_session`` memoizes per-settings sessions that capture the
+    runner — and through it the cache directory — the environment named
+    when they were first built.  Dropping the registry at both edges of the
+    pytest session guarantees no session built under another environment
+    (an earlier in-process pytest run, an importing harness) leaks into
+    this one, and nothing this session built leaks out.  Within the
+    session the registry stays warm on purpose: the suite's modules share
+    the memoized experiment grids.
+    """
+    from repro.api import reset_shared_sessions
+
+    reset_shared_sessions()
+    yield
+    reset_shared_sessions()

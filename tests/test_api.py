@@ -13,6 +13,8 @@ Covers the facade's contracts:
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.api import (
@@ -24,6 +26,7 @@ from repro.api import (
     SweepResult,
     figure_ids,
     normalize_figure_id,
+    reset_shared_sessions,
     shared_session,
 )
 from repro.experiments import (
@@ -97,6 +100,75 @@ class TestSession:
 
     def test_figures_lists_the_registry(self, tiny_session):
         assert tiny_session.figures() == figure_ids()
+
+    def test_reset_shared_sessions_drops_the_registry(self):
+        from repro.api import session as session_module
+
+        saved = dict(session_module._shared_sessions)
+        try:
+            before = shared_session(TINY)
+            reset_shared_sessions()
+            after = shared_session(TINY)
+            assert after is not before
+            assert shared_session(TINY) is after
+        finally:
+            # Restore the registry so the suite's other modules keep their
+            # warm memoized grids (the hygiene fixture resets at exit).
+            session_module._shared_sessions.clear()
+            session_module._shared_sessions.update(saved)
+
+
+class TestSessionThreadSafety:
+    def test_concurrent_figure_calls_compute_the_grid_once(self, tmp_path):
+        """Regression: hammering ``Session.figure`` from threads must behave
+        like one computation — the memo lock makes the first caller compute
+        and every concurrent caller block then reuse, so the grid's job
+        count is submitted exactly once and all answers are identical."""
+        session = Session(
+            MICRO, runner=BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        )
+        grid_size = len(session.required_jobs("fig12"))
+        assert grid_size > 0
+        barrier = threading.Barrier(8)
+        payloads: list[str] = []
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def hammer() -> None:
+            try:
+                barrier.wait(timeout=60)
+                payload = session.figure("fig12").to_json()
+                with lock:
+                    payloads.append(payload)
+            except BaseException as error:  # pragma: no cover - failure path
+                with lock:
+                    errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not errors
+        assert len(set(payloads)) == 1 and len(payloads) == 8
+        assert session.stats.submitted == grid_size
+        assert session.required_jobs("fig12") == []
+
+
+class TestRequiredJobs:
+    def test_sweeps_compile_their_grid(self):
+        session = Session(TINY, parallel=False, cache=None)
+        spec = SweepSpec(layers=("R6", "A2"), designs=("SIGMA-like",))
+        assert len(session.required_jobs(spec)) == 2
+
+    def test_static_and_area_figures_need_nothing(self):
+        session = Session(TINY, parallel=False, cache=None)
+        assert session.required_jobs("table3") == []
+        assert session.required_jobs(FigureQuery("table8")) == []
+
+    def test_memoized_grids_need_nothing(self, tiny_session):
+        tiny_session.end_to_end()
+        assert tiny_session.required_jobs("fig12") == []
 
 
 # ----------------------------------------------------------------------

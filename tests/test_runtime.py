@@ -196,6 +196,30 @@ class TestResultCache:
         # Evicted entries fall back to disk transparently.
         assert cache.get(keys[0]) == 0
 
+    def test_missing_probes_without_reading(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        present = ["ab" * 32, "cd" * 32]
+        absent = ["ef" * 32, "01" * 32]
+        for key in present:
+            cache.put(key, {"cycles": 1.0})
+        probe = ResultCache(tmp_path)  # cold memory level: pure disk probe
+        assert sorted(probe.missing(present + absent)) == sorted(absent)
+        assert probe.missing(present) == []
+        # The probe listed shards but never decoded an entry into memory.
+        assert not probe._memory
+
+    def test_missing_on_an_empty_cache_reports_everything(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        keys = ["ab" * 32, "cd" * 32]
+        assert cache.missing(keys) == keys
+
+    def test_missing_sees_memory_and_legacy_levels(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, 1)  # in memory + disk
+        legacy_key = "cd" * 32
+        cache.legacy_path_for(legacy_key).write_bytes(b"whatever")  # flat file
+        assert cache.missing(["ab" * 32, legacy_key, "ef" * 32]) == ["ef" * 32]
+
 
 class TestResultCachePrune:
     """``prune(max_size_bytes)`` evicts least-recently-written entries first."""
@@ -455,6 +479,21 @@ class TestWorkerPool:
         finally:
             pool.shutdown()
 
+    def test_growth_retires_the_old_executor_without_breaking_it(self):
+        """A concurrent batch holding the pre-growth executor must be able
+        to keep submitting to it; growth retires, never tears down in use."""
+        from repro.runtime.pool import WorkerPool
+
+        pool = WorkerPool()
+        try:
+            narrow = pool.executor(1)
+            wide = pool.executor(2)
+            assert wide is not narrow
+            assert narrow.submit(int, "7").result() == 7
+            assert wide.submit(int, "8").result() == 8
+        finally:
+            pool.shutdown()
+
     def test_broken_executor_is_replaced(self):
         """One crashed batch must not poison every later batch."""
         from repro.runtime.pool import WorkerPool
@@ -580,6 +619,32 @@ class TestStreamingProgress:
         )
         runner.run_one(_layer_job())
         assert seen[-1] == (1, 1)
+
+    def test_submit_runs_the_batch_off_thread(self, tmp_path):
+        """``submit`` is ``run`` behind a Future — same results, live
+        progress, counters intact (the serving front-end's async hook)."""
+        import threading
+
+        runner = BatchRunner(parallel=False, cache=ResultCache(tmp_path))
+        jobs = [_layer_job(design=d) for d in ("SIGMA-like", "GAMMA-like")]
+        reference = BatchRunner(parallel=False, cache=None).run(jobs)
+        seen: list[tuple[int, int]] = []
+        calling_thread = threading.get_ident()
+        threads: set[int] = set()
+
+        def observe(done: int, total: int) -> None:
+            threads.add(threading.get_ident())
+            seen.append((done, total))
+
+        future = runner.submit(jobs, on_result=observe)
+        results = future.result(timeout=300)
+        assert results == reference
+        assert seen[-1] == (2, 2)
+        assert calling_thread not in threads  # progress came off-thread
+        assert runner.stats.submitted == 2 and runner.stats.executed == 2
+        # A second submit reuses the pool and answers from the cache.
+        assert runner.submit(jobs).result(timeout=300) == results
+        assert runner.stats.cache_hits == 2
 
     def test_results_stream_into_the_cache_as_they_land(self, tmp_path, monkeypatch):
         """Each finished job is on disk before the next one executes."""

@@ -6,9 +6,11 @@ Subcommands::
     python -m repro figure fig13 --table      # ... or as an aligned table
     python -m repro sweep --models SQ --designs Flexagon,GAMMA-like
     python -m repro serve --port 8734         # HTTP/JSON server over the cache
+    python -m repro worker http://host:8734   # claim + execute fabric work
     python -m repro cache stats               # entries + size (--json for wire form)
     python -m repro cache clear               # drop every entry
     python -m repro cache prune --max-size-mb 64   # LRU-evict down to a bound
+    python -m repro cache pull http://host:8734    # merge a peer's entries
     python -m repro list                      # figures, models, layers, designs
 
 ``figure`` and ``sweep`` write the canonical JSON of the response record to
@@ -20,6 +22,7 @@ run.  The job counters go to stderr so they never perturb the payload.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.api.figures import FIGURES
@@ -213,8 +216,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # one stderr stream; background jobs report progress over HTTP instead.
     if args.progress is None:
         args.progress = False
+    # The serve port already carries the fabric's /v1/work routes, so under
+    # REPRO_POOL=remote there is no reason to open a second listener.
+    os.environ.setdefault("REPRO_FABRIC_LISTEN", "0")
     session = _session_from_args(args)
     return run_server(session, host=args.host, port=args.port)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fabric import run_worker
+
+    return run_worker(
+        args.url,
+        worker_id=args.id,
+        cache_dir=args.cache_dir,
+        poll_seconds=args.poll_seconds,
+        max_items=args.max_items,
+    )
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -241,6 +259,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "clear":
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    if args.cache_command == "pull":
+        from repro.fabric import pull_cache
+
+        report = pull_cache(cache, args.url)
+        print(
+            f"pulled {report.fetched} entries from {args.url} into "
+            f"{cache.directory} ({report.already_present} already present, "
+            f"{report.skipped} skipped, {report.remote_entries} remote entries)"
+        )
         return 0
     assert args.cache_command == "prune", args.cache_command
     report = cache.prune(int(args.max_size_mb * 1e6))
@@ -348,6 +376,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="claim and execute work from a fabric coordinator "
+        "(a serve instance or a REPRO_POOL=remote run)",
+    )
+    worker.add_argument(
+        "url", metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8734",
+    )
+    worker.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker identity in leases and logs (default: host-pid derived)",
+    )
+    worker.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="worker-local cache for nested results "
+        "(default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    worker.add_argument(
+        "--poll-seconds", type=float, default=0.2, metavar="S",
+        help="idle delay between claim polls (default: 0.2)",
+    )
+    worker.add_argument(
+        "--max-items", type=int, default=1, metavar="N",
+        help="work items to claim per poll (default: 1)",
+    )
+    worker.set_defaults(func=_cmd_worker)
+
     cache = subparsers.add_parser("cache", help="inspect or maintain the result cache")
     cache.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -366,6 +422,15 @@ def build_parser() -> argparse.ArgumentParser:
     prune.add_argument(
         "--max-size-mb", type=float, required=True, metavar="N",
         help="keep at most N megabytes of entries (oldest evicted first)",
+    )
+    pull = cache_sub.add_parser(
+        "pull",
+        help="merge the entries a peer coordinator has and this cache lacks "
+        "(anti-entropy; entries are digest-verified before storing)",
+    )
+    pull.add_argument(
+        "url", metavar="URL",
+        help="peer base URL, e.g. http://127.0.0.1:8734",
     )
     cache.set_defaults(func=_cmd_cache)
 

@@ -1,0 +1,76 @@
+"""Anti-entropy cache replication: ``python -m repro cache pull <url>``.
+
+The result cache is content-addressed by everything a simulation depends
+on, so two peers' caches can never disagree about a key — an entry is
+either absent or byte-identical.  Merging is therefore pure anti-entropy:
+diff the peer's key inventory (``GET /v1/cache/keys``) against the local
+:meth:`~repro.runtime.cache.ResultCache.missing` probe, fetch only the
+absent entries (``GET /v1/cache/entry/<key>``), verify each blob against
+the digest header and a trial unpickle, and store the raw bytes.  A
+corrupt or vanished entry is skipped, never stored — the local cache can
+only gain valid entries.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from repro.fabric import wire
+from repro.runtime.cache import ResultCache
+from repro.serve.wire import CONTENT_DIGEST_HEADER
+
+
+@dataclass(frozen=True)
+class PullReport:
+    """Outcome of one :func:`pull_cache` run."""
+
+    remote_entries: int
+    already_present: int
+    fetched: int
+    skipped: int
+
+
+def pull_cache(
+    cache: ResultCache, base_url: str, timeout: float = 60.0
+) -> PullReport:
+    """Merge every entry the peer at ``base_url`` has and we do not."""
+    base = base_url.rstrip("/")
+    with urllib.request.urlopen(base + "/v1/cache/keys", timeout=timeout) as response:
+        record = json.loads(response.read().decode("utf-8"))
+    keys = record.get("keys", [])
+    if not isinstance(keys, list):
+        raise ValueError("peer's cache inventory is malformed")
+    keys = [key for key in keys if isinstance(key, str) and wire.is_content_key(key)]
+    absent = cache.missing(keys)
+    fetched = 0
+    skipped = 0
+    for key in absent:
+        try:
+            with urllib.request.urlopen(
+                base + "/v1/cache/entry/" + key, timeout=timeout
+            ) as response:
+                blob = response.read()
+                declared = response.headers.get(CONTENT_DIGEST_HEADER)
+        except urllib.error.HTTPError:
+            skipped += 1  # pruned (or never served) between inventory and fetch
+            continue
+        if declared is not None and wire.digest(blob) != declared:
+            skipped += 1  # transit corruption; do not store
+            continue
+        try:
+            pickle.loads(blob)
+        except Exception:
+            skipped += 1  # does not decode; a stored copy could never hit
+            continue
+        cache.put_blob(key, blob)
+        fetched += 1
+    return PullReport(
+        remote_entries=len(keys),
+        already_present=len(keys) - len(absent),
+        fetched=fetched,
+        skipped=skipped,
+    )

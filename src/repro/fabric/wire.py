@@ -1,0 +1,94 @@
+"""Wire helpers of the distributed fabric: integrity-checked blob records.
+
+Everything crossing the coordinator/worker boundary that is not plain JSON
+— pickled :class:`~repro.runtime.jobs.SimJob` chunks going out, pickled
+result records coming back — travels as a *blob record*: base64 data plus
+the SHA-256 of the raw bytes.  The receiving side re-derives the digest
+before trusting the payload, so a corrupted or tampered upload is rejected
+at the door instead of poisoning the content-addressed cache (whose whole
+correctness story is that a key's bytes are what the key says they are).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+import pickle
+
+from repro.runtime.jobs import SimJob
+
+#: Hex alphabet of cache keys / digests — also the path-safety gate for the
+#: ``/v1/cache/entry/<key>`` route (a key is used as a file name).
+_HEX = set("0123456789abcdef")
+
+
+class IntegrityError(ValueError):
+    """A blob whose content does not match its declared digest (or cannot
+    be decoded at all).  The coordinator reports it as a ``400`` and
+    requeues the work item — the corrupt payload never lands anywhere."""
+
+
+def digest(blob: bytes) -> str:
+    """SHA-256 hex digest of raw bytes (the fabric's integrity primitive)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def is_content_key(text: str) -> bool:
+    """Whether ``text`` looks like a cache key (64 lowercase hex chars)."""
+    return len(text) == 64 and set(text) <= _HEX
+
+
+def encode_blob(blob: bytes) -> dict:
+    """Blob record of raw bytes: base64 data + content digest."""
+    return {
+        "data": base64.b64encode(blob).decode("ascii"),
+        "sha256": digest(blob),
+    }
+
+
+def decode_blob(record: dict) -> bytes:
+    """Raw bytes of one blob record, digest-verified.
+
+    Raises :class:`IntegrityError` when the record is malformed or the
+    content hash does not match the declared one.
+    """
+    if not isinstance(record, dict) or "data" not in record:
+        raise IntegrityError("blob record must be an object with a data field")
+    try:
+        blob = base64.b64decode(record["data"], validate=True)
+    except (binascii.Error, TypeError, ValueError) as error:
+        raise IntegrityError(f"malformed base64 payload: {error}") from None
+    declared = record.get("sha256")
+    if not isinstance(declared, str) or digest(blob) != declared:
+        raise IntegrityError("payload content does not match its declared sha256")
+    return blob
+
+
+def encode_jobs(jobs: list[SimJob]) -> dict:
+    """One claimable chunk's jobs as a single pickled blob record."""
+    return encode_blob(pickle.dumps(list(jobs), protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_jobs(record: dict) -> list[SimJob]:
+    """The jobs of a claimed chunk, digest-verified and unpickled."""
+    blob = decode_blob(record)
+    try:
+        jobs = pickle.loads(blob)
+    except Exception as error:
+        raise IntegrityError(f"job payload does not unpickle: {error}") from None
+    if not isinstance(jobs, list) or not all(isinstance(j, SimJob) for j in jobs):
+        raise IntegrityError("job payload is not a list of SimJobs")
+    return jobs
+
+
+def parse_json_body(body: bytes) -> dict:
+    """A request body as a JSON object; :class:`ValueError` otherwise."""
+    try:
+        record = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"malformed JSON body: {error}") from None
+    if not isinstance(record, dict):
+        raise ValueError("body must be a JSON object")
+    return record

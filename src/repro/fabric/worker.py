@@ -1,0 +1,403 @@
+"""The fabric worker: claim a chunk, simulate it, upload the results.
+
+``python -m repro worker <coordinator-url>`` runs :func:`run_worker`: a
+pull loop that claims leased work items from the coordinator, executes the
+jobs through the local engine (exactly the
+:func:`~repro.runtime.jobs.execute_chunk` path a local pool worker runs),
+and uploads the serialized result records.  While a chunk runs, a
+background thread heartbeats at a third of the lease length so a healthy
+worker never loses a long chunk to lease expiry; a worker that dies simply
+stops heartbeating and the coordinator requeues its items.
+
+Bit-equivalence with local execution is carried by two things:
+
+* jobs execute through the very same ``execute_chunk`` function, and
+* nested results (oracle trials, shared engine runs) land in a
+  :class:`RecordingCache` — the worker's local cache wrapped to remember
+  every blob that passes through it — and are uploaded as *extras*, so the
+  coordinator's cache ends up with exactly the key set a local run of the
+  same chunk would have produced.
+
+Fault injection (the chaos test harness, ``REPRO_CHAOS``):
+
+* ``die_after:N`` — complete N items, then vanish while holding a lease;
+* ``stall``      — claim an item, then hang without heartbeating;
+* ``corrupt``    — flip a byte in each upload's payload (digest mismatch).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+from repro.fabric import wire
+from repro.fabric.queue import FabricError, WorkQueue
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.jobs import execute_chunk
+
+
+def parse_chaos(text: str | None) -> "Chaos | None":
+    """Parse a ``REPRO_CHAOS`` value; ``None``/empty means no chaos."""
+    if not text:
+        return None
+    mode, _, raw = text.partition(":")
+    if mode == "die_after":
+        try:
+            return Chaos("die_after", int(raw))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CHAOS=die_after needs an integer, got {raw!r}"
+            ) from None
+    if mode in ("stall", "corrupt"):
+        if raw:
+            raise ValueError(f"REPRO_CHAOS={mode} takes no argument")
+        return Chaos(mode, 0)
+    raise ValueError(
+        f"unknown REPRO_CHAOS mode {text!r}; expected die_after:N, stall or corrupt"
+    )
+
+
+@dataclass(frozen=True)
+class Chaos:
+    """One fault-injection behaviour (see the module docstring)."""
+
+    mode: str
+    value: int = 0
+
+
+@dataclass
+class WorkerReport:
+    """What one worker's run loop did (the chaos tests assert on this)."""
+
+    claimed: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    died: bool = False
+    stalled: bool = False
+    rejected_messages: list[str] = field(default_factory=list)
+
+
+class RecordingCache(ResultCache):
+    """A :class:`ResultCache` that remembers every blob passing through it.
+
+    Handed to ``execute_chunk`` as the nested trial cache: puts *and* read
+    hits both funnel through :meth:`_remember`/:meth:`_memory_get`, so
+    ``recorded`` accumulates every nested result the chunk's execution
+    touched — including entries the worker's local cache already held from
+    an earlier chunk, which the coordinator may still be missing (e.g. when
+    that earlier upload was lost to a crash).  Uploading the touched set,
+    not just the fresh puts, is what keeps the coordinator's key inventory
+    identical to a local run's.
+    """
+
+    def __init__(self, directory) -> None:
+        super().__init__(directory)
+        self.recorded: dict[str, bytes] = {}
+
+    def _remember(self, key: str, blob: bytes) -> None:
+        self.recorded[key] = blob
+        super()._remember(key, blob)
+
+    def _memory_get(self, key: str) -> bytes | None:
+        blob = super()._memory_get(key)
+        if blob is not None:
+            self.recorded[key] = blob
+        return blob
+
+
+# ----------------------------------------------------------------------
+# Queue clients: in-process (tests) and HTTP (real deployments)
+# ----------------------------------------------------------------------
+class DirectClient:
+    """Drives a :class:`WorkQueue` object in-process — the test harness's
+    client, running the exact record protocol the HTTP client speaks."""
+
+    def __init__(self, queue: WorkQueue) -> None:
+        self.queue = queue
+
+    def claim(self, worker: str, max_items: int) -> list[dict]:
+        items, _outstanding = self.queue.claim(worker, max_items)
+        return items
+
+    def heartbeat(self, worker: str, item_ids: list[str]) -> dict:
+        return self.queue.heartbeat(worker, item_ids)
+
+    def complete(self, worker: str, record: dict) -> dict:
+        return self.queue.complete(worker, record)
+
+
+class HttpClient:
+    """Speaks the coordinator's ``/v1/work/*`` JSON protocol over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _post(self, route: str, record: dict) -> dict:
+        body = json.dumps(record).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + route,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+                detail = payload.get("error", "")
+            except Exception:
+                pass
+            raise FabricError(
+                error.code, detail or f"coordinator answered {error.code}"
+            ) from None
+
+    def claim(self, worker: str, max_items: int) -> list[dict]:
+        record = self._post(
+            "/v1/work/claim", {"worker": worker, "max_items": max_items}
+        )
+        return record.get("items", [])
+
+    def heartbeat(self, worker: str, item_ids: list[str]) -> dict:
+        return self._post("/v1/work/heartbeat", {"worker": worker, "items": item_ids})
+
+    def complete(self, worker: str, record: dict) -> dict:
+        return self._post("/v1/work/complete", record)
+
+
+# ----------------------------------------------------------------------
+# The worker loop
+# ----------------------------------------------------------------------
+class Worker:
+    """One claim/execute/upload loop over a queue client.
+
+    ``target`` is a coordinator URL (HTTP client) or a live
+    :class:`WorkQueue` (in-process client, the test harness).  ``stop`` is
+    an optional external kill switch; :meth:`run` also exits when chaos
+    says the worker "dies".
+    """
+
+    def __init__(
+        self,
+        target: str | WorkQueue,
+        *,
+        worker_id: str | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        poll_seconds: float = 0.2,
+        max_items: int = 1,
+        chaos: Chaos | None = None,
+        stop: threading.Event | None = None,
+        log=None,
+    ) -> None:
+        if isinstance(target, WorkQueue):
+            self.client: DirectClient | HttpClient = DirectClient(target)
+        else:
+            self.client = HttpClient(target)
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{os.getpid()}-{id(self) & 0xFFFF:04x}"
+        )
+        if cache_dir is None and os.environ.get("REPRO_CACHE", "1") == "0":
+            self.cache_dir = None
+        else:
+            self.cache_dir = (
+                os.fspath(cache_dir) if cache_dir is not None else str(default_cache_dir())
+            )
+        self.poll_seconds = poll_seconds
+        self.max_items = max_items
+        self.chaos = chaos
+        self.stop = stop if stop is not None else threading.Event()
+        self.log = log
+        self.report = WorkerReport()
+
+    # ------------------------------------------------------------------
+    def run(self) -> WorkerReport:
+        """Poll until stopped (or chaos kills the worker); returns the
+        report of what happened."""
+        while not self.stop.is_set():
+            try:
+                items = self.client.claim(self.worker_id, self.max_items)
+            except FabricError as error:
+                self._log(f"claim rejected: {error}")
+                items = []
+            except (urllib.error.URLError, OSError) as error:
+                # Coordinator not up (yet) or network blip: keep polling.
+                self._log(f"claim failed: {error}")
+                items = []
+            if not items:
+                self.stop.wait(self.poll_seconds)
+                continue
+            for item in items:
+                self.report.claimed += 1
+                if not self._process(item):
+                    return self.report
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _process(self, item: dict) -> bool:
+        """Execute one claimed item; ``False`` ends the run loop (death)."""
+        chaos = self.chaos
+        if chaos is not None and chaos.mode == "die_after":
+            if self.report.completed >= chaos.value:
+                # Crash simulation: vanish while holding the lease.  No
+                # completion, no heartbeat — the lease must expire.
+                self.report.died = True
+                self._log(f"chaos: dying while holding {item['item_id']}")
+                return False
+        if chaos is not None and chaos.mode == "stall":
+            # Hang without heartbeating until externally stopped; the
+            # coordinator must requeue the item elsewhere.
+            self.report.stalled = True
+            self._log(f"chaos: stalling on {item['item_id']}")
+            self.stop.wait()
+            return False
+
+        try:
+            jobs = wire.decode_jobs(item["jobs"])
+        except wire.IntegrityError as error:
+            # A mangled claim payload: drop the lease (it will expire).
+            self.report.errors += 1
+            self._log(f"claim payload corrupt: {error}")
+            return True
+
+        heartbeat_stop = threading.Event()
+        interval = max(0.02, float(item.get("lease_seconds", 30.0)) / 3.0)
+
+        def beat() -> None:
+            while not heartbeat_stop.wait(interval):
+                try:
+                    self.client.heartbeat(self.worker_id, [item["item_id"]])
+                except Exception:
+                    return  # coordinator gone; the run loop will notice
+
+        beater = threading.Thread(
+            target=beat, name=f"repro-heartbeat-{item['item_id']}", daemon=True
+        )
+        beater.start()
+        try:
+            recording = (
+                RecordingCache(self.cache_dir) if self.cache_dir is not None else None
+            )
+            outcomes, error = execute_chunk(jobs, trial_cache=recording)
+        finally:
+            heartbeat_stop.set()
+            beater.join(timeout=5)
+
+        record: dict = {
+            "item_id": item["item_id"],
+            "worker": self.worker_id,
+            "error": None if error is None else f"{type(error).__name__}: {error}",
+            "outcomes": [
+                wire.encode_blob(
+                    pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                for outcome in outcomes
+            ],
+            "extras": [
+                {"key": key, **wire.encode_blob(blob)}
+                for key, blob in sorted(recording.recorded.items())
+            ]
+            if recording is not None
+            else [],
+        }
+        if chaos is not None and chaos.mode == "corrupt":
+            _corrupt_record(record)
+        try:
+            self.client.complete(self.worker_id, record)
+            self.report.completed += 1
+            self._log(
+                f"completed {item['item_id']} ({len(outcomes)} results)"
+            )
+        except FabricError as error:
+            self.report.rejected += 1
+            self.report.rejected_messages.append(str(error))
+            self._log(f"upload rejected ({error.status}): {error}")
+            # Back off before claiming again: whatever corrupted this upload
+            # (bad serialisation, flaky disk, chaos) will likely corrupt the
+            # next one too, and the rejected item was just requeued at the
+            # front — a tight retry loop would race healthier workers for it
+            # and burn through its lease budget.
+            self.stop.wait(self.poll_seconds)
+        except (urllib.error.URLError, OSError) as error:
+            self.report.errors += 1
+            self._log(f"upload failed: {error}")
+        return True
+
+    def _log(self, message: str) -> None:
+        if self.log is not None:
+            self.log(f"[{self.worker_id}] {message}")
+
+
+def _corrupt_record(record: dict) -> None:
+    """Chaos ``corrupt``: flip a payload byte *after* digests were declared,
+    so the upload's content no longer matches its sha256."""
+    import base64
+
+    blobs = record["outcomes"] or record["extras"]
+    if not blobs:
+        record["outcomes"] = [{"data": "", "sha256": "0" * 64}]
+        return
+    target = blobs[0]
+    raw = bytearray(base64.b64decode(target["data"]))
+    if raw:
+        raw[len(raw) // 2] ^= 0xFF
+    else:
+        raw = bytearray(b"\x00")
+    target["data"] = base64.b64encode(bytes(raw)).decode("ascii")
+
+
+def run_worker(
+    url: str,
+    *,
+    worker_id: str | None = None,
+    cache_dir: str | None = None,
+    poll_seconds: float = 0.2,
+    max_items: int = 1,
+    chaos_text: str | None = None,
+) -> int:
+    """Blocking entry point behind ``python -m repro worker``."""
+    chaos = parse_chaos(
+        chaos_text if chaos_text is not None else os.environ.get("REPRO_CHAOS")
+    )
+    worker = Worker(
+        url,
+        worker_id=worker_id,
+        cache_dir=cache_dir,
+        poll_seconds=poll_seconds,
+        max_items=max_items,
+        chaos=chaos,
+        log=lambda message: print(
+            f"[repro.worker] {message}", file=sys.stderr, flush=True
+        ),
+    )
+    cache_note = worker.cache_dir if worker.cache_dir is not None else "disabled"
+    print(
+        f"[repro.worker] {worker.worker_id} polling {url} (cache: {cache_note})",
+        file=sys.stderr,
+        flush=True,
+    )
+    started = time.monotonic()
+    try:
+        report = worker.run()
+    except KeyboardInterrupt:
+        report = worker.report
+    print(
+        f"[repro.worker] {worker.worker_id} exiting after "
+        f"{time.monotonic() - started:.1f}s: claimed={report.claimed} "
+        f"completed={report.completed} rejected={report.rejected} "
+        f"errors={report.errors}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0

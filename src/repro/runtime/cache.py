@@ -198,6 +198,38 @@ class ResultCache:
                     absent.append(key)
         return absent
 
+    def get_blob(self, key: str) -> bytes | None:
+        """The stored (pickled) bytes for ``key``, or ``None`` — no decoding.
+
+        The transport form of the cache-replication path: the fabric
+        coordinator serves entries to ``cache pull`` peers as raw bytes, so
+        the receiver can digest-verify and store them without trusting (or
+        paying for) a deserialise on the wire boundary.
+        """
+        blob = self._memory_get(key)
+        if blob is not None:
+            return blob
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            legacy = self.legacy_path_for(key)
+            try:
+                blob = legacy.read_bytes()
+            except OSError:
+                return None
+            self._migrate_legacy(key)
+        self._remember(key, blob)
+        return blob
+
+    def keys(self) -> list[str]:
+        """Every on-disk entry key, sorted (sharded and flat legacy layout).
+
+        The coordinator's ``/v1/cache/keys`` inventory: a peer diffs this
+        against its own :meth:`missing` probe to decide what to pull.
+        """
+        return sorted({path.stem for path in self._entry_paths()})
+
     def _decode(self, key: str, blob: bytes):
         try:
             return pickle.loads(blob)
@@ -229,7 +261,15 @@ class ResultCache:
 
     def put(self, key: str, value: object) -> None:
         """Store one finished result under ``key``."""
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self.put_blob(key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def put_blob(self, key: str, blob: bytes) -> None:
+        """Store one entry's already-pickled bytes under ``key``.
+
+        The write half of the replication path (:meth:`get_blob` is the read
+        half): a digest-verified entry received from a peer lands byte-for-
+        byte, so the two caches stay content-identical under the same key.
+        """
         self._remember(key, blob)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -16,6 +16,9 @@ Environment knob:
 * ``REPRO_POOL=ephemeral`` — legacy behaviour: one executor per batch
   (useful for A/B benchmarking and for workloads that must release worker
   memory between batches).
+* ``REPRO_POOL=remote`` — dispatch chunks to the distributed fabric's pull
+  queue instead of local processes; external ``python -m repro worker``
+  processes claim and execute them (see :mod:`repro.fabric`).
 """
 
 from __future__ import annotations
@@ -24,10 +27,11 @@ import atexit
 import multiprocessing
 import os
 import threading
+import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor
 
 #: Valid values of the ``REPRO_POOL`` environment knob.
-POOL_MODES = ("persistent", "ephemeral")
+POOL_MODES = ("persistent", "ephemeral", "remote")
 
 
 def pool_mode_from_env() -> str:
@@ -70,6 +74,7 @@ class WorkerPool:
         self._width = 0
         self._retired: list[ProcessPoolExecutor] = []
         self._lock = threading.Lock()
+        _LIVE_POOLS.add(self)
 
     @property
     def width(self) -> int:
@@ -101,6 +106,22 @@ class WorkerPool:
                 self._width = max_workers
             return self._executor
 
+    def reap_retired(self) -> int:
+        """Shut down every retired executor; returns how many were reaped.
+
+        Retirees normally drain when :meth:`shutdown` runs, but a pool that
+        is never shut down — a batch crashed before its runner finished, or
+        the owner simply dropped the reference — would keep the retirees'
+        worker processes alive for the rest of the interpreter's life.  The
+        module-level atexit sweep calls this on every surviving pool.
+        """
+        with self._lock:
+            retirees = list(self._retired)
+            self._retired = []
+        for executor in retirees:
+            executor.shutdown(wait=True, cancel_futures=True)
+        return len(retirees)
+
     def shutdown(self) -> None:
         """Tear down the executor and every retiree (lazily rebuilt on use)."""
         with self._lock:
@@ -112,6 +133,20 @@ class WorkerPool:
             self._retired = []
         for executor in executors:
             executor.shutdown(wait=True, cancel_futures=True)
+
+
+#: Every live WorkerPool, so the atexit sweep below can reach pools whose
+#: owners never called shutdown().  Weak: registration must not keep a
+#: dropped pool (and its executors) alive on its own.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def sweep_retired_pools() -> int:
+    """Reap the retired executors of every surviving pool (atexit hook)."""
+    return sum(pool.reap_retired() for pool in list(_LIVE_POOLS))
+
+
+atexit.register(sweep_retired_pools)
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +189,13 @@ def acquire_executor(mode: str, max_workers: int) -> tuple[Executor, bool]:
             ProcessPoolExecutor(max_workers=max_workers, mp_context=pool_context()),
             True,
         )
+    if mode == "remote":
+        # The fabric's queue-backed executor: chunks become leasable work
+        # items that external ``python -m repro worker`` processes claim over
+        # HTTP.  Process-wide (like the persistent pool), hence not transient.
+        from repro.fabric import runtime_executor
+
+        return runtime_executor(), False
     if mode != "persistent":
         raise ValueError(f"unknown pool mode {mode!r}; expected one of {POOL_MODES}")
     return shared_pool().executor(max_workers), False

@@ -33,8 +33,14 @@ arguments):
 * ``REPRO_WORKERS=N``    — process-pool width.  Default: the full
   ``os.cpu_count()``; set ``REPRO_WORKERS`` to cap it on shared machines.
 * ``REPRO_POOL``         — ``persistent`` (default: one process-wide pool
-  reused across batches) or ``ephemeral`` (one pool per batch; see
-  :mod:`repro.runtime.pool`).
+  reused across batches), ``ephemeral`` (one pool per batch; see
+  :mod:`repro.runtime.pool`) or ``remote`` (dispatch chunks to the
+  distributed fabric's pull queue, executed by external ``python -m repro
+  worker`` processes; see :mod:`repro.fabric` —
+  ``REPRO_LEASE_SECONDS``/``REPRO_MAX_ATTEMPTS`` tune its leases).  All
+  modes are bit-equivalent: a chunk runs the same ``execute_chunk`` path
+  wherever it executes, so cache keys and result bytes never depend on
+  where the work ran.
 * ``REPRO_SCHED``        — ``cost`` (default: grouped, longest-first) or
   ``fifo`` (legacy submission-order static chunks).
 * ``REPRO_SHARE_ENGINE=0`` — disable engine-result sharing between designs

@@ -2,14 +2,24 @@
 
 Endpoints (all JSON; see the README's "Serving" section for curl examples):
 
-========================  =====================================================
-``GET /healthz``          liveness probe
-``GET /v1/figures``       every answerable figure/table
-``GET /v1/figure/<id>``   one figure's rows — ``200`` warm, ``202`` + job cold
-``POST /v1/sweep``        a ``SweepSpec`` record — ``200`` warm, ``202`` cold
-``GET /v1/jobs/<key>``    poll a background job — ``202`` running, ``200`` done
-``GET /v1/cache/stats``   result-cache + runner telemetry
-========================  =====================================================
+============================  =================================================
+``GET /healthz``              liveness probe
+``GET /v1/figures``           every answerable figure/table
+``GET /v1/figure/<id>``       one figure's rows — ``200`` warm, ``202`` cold
+``POST /v1/sweep``            a ``SweepSpec`` record — ``200`` warm, ``202`` cold
+``GET /v1/jobs/<key>``        poll a background job — ``202`` running, ``200`` done
+``GET /v1/cache/stats``       result-cache + runner telemetry
+``POST /v1/work/*``           the fabric's claim/heartbeat/complete protocol
+``GET /v1/work/stats``        work-queue telemetry
+``GET /v1/cache/keys``        cache key inventory (replication)
+``GET /v1/cache/entry/<key>`` one raw entry, digest-verified (replication)
+============================  =================================================
+
+The ``/v1/work`` and cache-replication routes (:mod:`repro.fabric.api`)
+make every serve instance a fabric coordinator surface: run the server with
+``REPRO_POOL=remote`` and point ``python -m repro worker <url>`` processes
+at the same port — cold figure/sweep jobs then execute on the workers while
+``/v1/jobs`` progress streams through from their remote completions.
 
 Request handling never blocks the event loop on simulation: warm responses
 are collated on a worker thread (``asyncio.to_thread``) and cold requests
@@ -33,6 +43,7 @@ from repro.api.session import Session
 from repro.serve.executor import DONE, FAILED, JobManager, ServeJob
 from repro.serve.http import (
     ALLOWED_METHODS,
+    WORK_MAX_BODY_BYTES,
     HttpError,
     Request,
     Response,
@@ -62,7 +73,11 @@ class ServeApp:
             while True:
                 keep_alive = False
                 try:
-                    request = await read_request(reader)
+                    # The larger bound admits fabric result uploads; every
+                    # non-work route still only ever parses tiny records.
+                    request = await read_request(
+                        reader, max_body=WORK_MAX_BODY_BYTES
+                    )
                     if request is None:
                         break
                     keep_alive = not request.wants_close()
@@ -104,6 +119,22 @@ class ServeApp:
         if path == "/v1/cache/stats":
             report = await asyncio.to_thread(self.session.cache_stats)
             return self._json(200, wire.cache_stats_record(report))
+        # Fabric routes (work queue + cache replication) delegate to the
+        # shared handler so this surface and the standalone fabric listener
+        # speak one protocol.  Imported lazily: repro.fabric imports this
+        # module's siblings at load, so a top-level import would cycle.
+        from repro.fabric import api as fabric_api
+
+        if fabric_api.is_fabric_path(path):
+            from repro.fabric import shared_queue
+
+            return await asyncio.to_thread(
+                fabric_api.dispatch_route,
+                path,
+                request,
+                shared_queue(),
+                self.session.cache,
+            )
         if path.startswith("/v1/figure/"):
             if request.method != "GET":
                 return self._error(405, "figure queries are GET")

@@ -39,6 +39,12 @@ ALLOWED_METHODS = ("GET", "POST")
 MAX_HEADER_COUNT = 100
 MAX_BODY_BYTES = 1 << 20  # 1 MiB — a SweepSpec record is a few hundred bytes
 
+#: Body bound for listeners that also accept fabric work uploads: a
+#: ``/v1/work/complete`` payload carries a chunk's pickled result records
+#: (base64-inflated), which can legitimately run to megabytes on full-scale
+#: sweeps.  Request records stay tiny either way.
+WORK_MAX_BODY_BYTES = 64 << 20
+
 
 class HttpError(Exception):
     """A malformed request, reportable with a specific status code."""
@@ -77,12 +83,16 @@ class Response:
     content_type: str = "application/json; charset=utf-8"
 
 
-async def read_request(reader: asyncio.StreamReader) -> Request | None:
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = MAX_BODY_BYTES
+) -> Request | None:
     """Parse one request off the stream; ``None`` on clean end-of-stream.
 
     Raises :class:`HttpError` for anything malformed — the connection
     handler reports the status and closes, which is the correct recovery
     for a framing error (the stream position is no longer trustworthy).
+    ``max_body`` is the ``413`` bound; listeners accepting fabric result
+    uploads pass :data:`WORK_MAX_BODY_BYTES`.
     """
     try:
         line = await reader.readline()
@@ -125,8 +135,8 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
             raise HttpError(400, "malformed Content-Length") from None
         if length < 0:
             raise HttpError(400, "malformed Content-Length")
-        if length > MAX_BODY_BYTES:
-            raise HttpError(413, f"body larger than {MAX_BODY_BYTES} bytes")
+        if length > max_body:
+            raise HttpError(413, f"body larger than {max_body} bytes")
         try:
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError:

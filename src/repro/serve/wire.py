@@ -33,6 +33,12 @@ from repro.workloads.models import MODEL_REGISTRY
 from repro.workloads.representative import representative_layer_names
 
 
+#: Response header carrying a raw cache entry's SHA-256 (the fabric's
+#: ``/v1/cache/entry/<key>`` replication route); the ``cache pull`` client
+#: verifies the body against it before storing anything.
+CONTENT_DIGEST_HEADER = "X-Repro-Content-SHA256"
+
+
 def dump_body(record: dict) -> bytes:
     """Encode one record as a canonical JSON body (newline-terminated,
     exactly like the CLI's payloads, so the two surfaces stay comparable

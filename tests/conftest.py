@@ -22,6 +22,11 @@ if "REPRO_CACHE_DIR" not in os.environ:
     os.environ["REPRO_CACHE_DIR"] = _cache_dir
     atexit.register(shutil.rmtree, _cache_dir, ignore_errors=True)
 
+# The fabric tests drive workers in-process (or over listeners they bind
+# themselves on port 0); a remote-mode runner must never auto-start the
+# standalone coordinator listener on the default port during a test run.
+os.environ.setdefault("REPRO_FABRIC_LISTEN", "0")
+
 
 @pytest.fixture(autouse=True, scope="session")
 def _shared_session_hygiene():

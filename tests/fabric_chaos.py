@@ -1,0 +1,132 @@
+"""Fault-injection harness for the distributed execution fabric tests.
+
+Runs :class:`repro.fabric.Worker` loops on daemon threads against an
+in-process :class:`~repro.fabric.queue.WorkQueue` (or a coordinator URL),
+so one test can stage a fleet — a chaos worker that dies mid-lease, a
+stalled worker, a corrupting uploader — next to healthy workers and assert
+that the queue converges to the same bytes a local run produces.
+
+The helpers deliberately know nothing about the scenarios themselves:
+tests compose :func:`start_worker`/:func:`worker_fleet` with
+:func:`wait_until` (e.g. "start the rescuer only after the chaos worker
+died") to make each failure ordering deterministic instead of racy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.fabric import Worker
+
+
+def wait_until(predicate, timeout: float = 60.0, interval: float = 0.01,
+               message: str = "condition"):
+    """Poll ``predicate`` until truthy; raise on timeout.
+
+    Returns the (truthy) predicate value so callers can grab what they
+    waited for: ``report = wait_until(lambda: member.done and member.report)``.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out after {timeout}s waiting for {message}")
+        time.sleep(interval)
+
+
+class FleetMember:
+    """One worker loop running on its own daemon thread."""
+
+    def __init__(self, worker: Worker) -> None:
+        self.worker = worker
+        self.thread = threading.Thread(
+            target=worker.run,
+            name=f"fleet-{worker.worker_id}",
+            daemon=True,
+        )
+
+    @property
+    def report(self):
+        return self.worker.report
+
+    @property
+    def done(self) -> bool:
+        """Whether the run loop has exited (death, stall release, or stop)."""
+        return not self.thread.is_alive()
+
+    def start(self) -> "FleetMember":
+        self.thread.start()
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Release the worker (stall chaos waits on this event) and join."""
+        self.worker.stop.set()
+        self.thread.join(timeout=timeout)
+        assert not self.thread.is_alive(), (
+            f"worker {self.worker.worker_id} did not stop within {timeout}s"
+        )
+
+
+def start_worker(target, **kwargs) -> FleetMember:
+    """Build and start one fleet member.
+
+    ``target`` is a :class:`WorkQueue` (in-process client) or a coordinator
+    URL; ``kwargs`` are :class:`Worker` keyword arguments.  Polling defaults
+    to 10 ms so scenario timelines stay fast.
+    """
+    kwargs.setdefault("poll_seconds", 0.01)
+    return FleetMember(Worker(target, **kwargs)).start()
+
+
+def start_worker_after(predicate, target, *, timeout: float = 60.0, **kwargs):
+    """Start a worker only once ``predicate`` holds, from a helper thread.
+
+    The staging primitive for deterministic failure orderings: the test's
+    main thread is typically blocked inside ``session.sweep(...)``, so the
+    "start the rescuer after the chaos worker died" step has to happen off
+    to the side.  Returns a one-element list the member is appended to when
+    it actually starts.
+
+    If the trigger never fires the worker starts anyway once ``timeout``
+    elapses: a missed trigger must fail the test's ordering assertions,
+    not wedge the whole suite on a sweep whose work nobody will claim.
+    """
+    holder: list[FleetMember] = []
+
+    def stage() -> None:
+        try:
+            wait_until(predicate, timeout=timeout, message="staged-start trigger")
+        except AssertionError:
+            pass
+        holder.append(start_worker(target, **kwargs))
+
+    threading.Thread(target=stage, name="fleet-stager", daemon=True).start()
+    return holder
+
+
+@contextmanager
+def worker_fleet(target, specs):
+    """Run one worker per spec for the duration of the ``with`` block.
+
+    ``specs`` is a list of :class:`Worker` kwarg dicts (missing
+    ``worker_id`` values are filled in positionally).  On exit every
+    worker's stop event is set first — releasing stalled chaos workers too —
+    and only then are the threads joined, so a wedged fleet cannot wedge
+    the test.
+    """
+    members = []
+    for index, spec in enumerate(specs):
+        kwargs = dict(spec)
+        kwargs.setdefault("worker_id", f"fleet-{index}")
+        members.append(start_worker(target, **kwargs))
+    try:
+        yield members
+    finally:
+        for member in members:
+            member.worker.stop.set()
+        for member in members:
+            member.stop()

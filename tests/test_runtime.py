@@ -221,6 +221,97 @@ class TestResultCache:
         assert cache.missing(["ab" * 32, legacy_key, "ef" * 32]) == ["ef" * 32]
 
 
+class TestResultCacheConcurrentMutation:
+    """``missing()``/``get_many()`` against a directory another writer is
+    mutating underneath them — the situation every fabric worker and every
+    ``cache pull`` peer puts a shared cache directory in."""
+
+    @staticmethod
+    def _keys(count):
+        import hashlib
+
+        return [hashlib.sha256(f"entry-{i}".encode()).hexdigest() for i in range(count)]
+
+    def test_probes_survive_a_concurrent_mutator_thread(self, tmp_path):
+        """No probe may crash or return garbage while entries appear and
+        vanish mid-listing; found values must always decode correctly."""
+        import random
+        import threading
+
+        keys = self._keys(48)
+        writer = ResultCache(tmp_path)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def mutate():
+            rng = random.Random(7)
+            try:
+                while not stop.is_set():
+                    key = rng.choice(keys)
+                    if rng.random() < 0.6:
+                        writer.put(key, {"value": key})
+                    else:
+                        writer.path_for(key).unlink(missing_ok=True)
+            except BaseException as error:  # surfaced by the main thread
+                failures.append(error)
+
+        thread = threading.Thread(target=mutate, daemon=True)
+        thread.start()
+        try:
+            for _ in range(150):
+                # Fresh instances: every probe is a pure disk probe, racing
+                # the writer's os.replace/unlink rather than its memory.
+                reader = ResultCache(tmp_path)
+                absent = reader.missing(keys)
+                found = reader.get_many(keys)
+                assert set(found) <= set(keys)
+                assert set(absent) <= set(keys)
+                for key, value in found.items():
+                    assert value == {"value": key}
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not failures, failures
+
+    def test_missing_converges_on_another_processes_writes(self, tmp_path):
+        """A writer *process* fills the directory while this process polls
+        ``missing()``: the absent set must shrink to empty, and a fresh
+        ``get_many`` must then return every entry."""
+        import subprocess
+        import sys
+        import time
+
+        keys = self._keys(16)
+        writer = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                (
+                    "import sys, time\n"
+                    "from repro.runtime import ResultCache\n"
+                    "cache = ResultCache(sys.argv[1])\n"
+                    "for key in sys.argv[2:]:\n"
+                    "    cache.put(key, {'value': key})\n"
+                    "    time.sleep(0.01)\n"
+                ),
+                str(tmp_path),
+                *keys,
+            ],
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+        )
+        try:
+            reader = ResultCache(tmp_path)
+            deadline = time.monotonic() + 120
+            while reader.missing(keys):
+                assert time.monotonic() < deadline, "writer too slow"
+                reader = ResultCache(tmp_path)  # drop the memory level
+        finally:
+            assert writer.wait(timeout=120) == 0
+        found = ResultCache(tmp_path).get_many(keys)
+        assert sorted(found) == sorted(keys)
+        assert all(found[key] == {"value": key} for key in keys)
+
+
 class TestResultCachePrune:
     """``prune(max_size_bytes)`` evicts least-recently-written entries first."""
 
@@ -507,6 +598,39 @@ class TestWorkerPool:
             replacement = pool.executor(1)
             assert replacement is not poisoned
             assert replacement.submit(int, "7").result() == 7
+        finally:
+            pool.shutdown()
+
+    def test_retired_executors_are_reaped_on_demand(self):
+        """Growth retires the old executor; reaping shuts the retiree down
+        without touching the live one (the retired-executor leak fix)."""
+        from repro.runtime.pool import WorkerPool
+
+        pool = WorkerPool()
+        try:
+            narrow = pool.executor(1)
+            wide = pool.executor(2)
+            assert wide is not narrow
+            assert pool.reap_retired() == 1
+            assert pool.reap_retired() == 0  # idempotent
+            with pytest.raises(RuntimeError):
+                narrow.submit(int, "7")  # the retiree is really shut down
+            assert wide.submit(int, "8").result() == 8
+        finally:
+            pool.shutdown()
+
+    def test_atexit_sweep_reaps_every_live_pool(self):
+        """A pool whose owner never calls shutdown() must still get its
+        retirees reaped by the module-level atexit sweep."""
+        from repro.runtime.pool import WorkerPool, sweep_retired_pools
+
+        pool = WorkerPool()
+        try:
+            abandoned = pool.executor(1)
+            pool.executor(2)  # retires the narrow executor
+            assert sweep_retired_pools() >= 1
+            with pytest.raises(RuntimeError):
+                abandoned.submit(int, "7")
         finally:
             pool.shutdown()
 

@@ -19,9 +19,25 @@ Routes::
 ``/v1/cache/*`` is what makes peer caches mergeable: ``python -m repro
 cache pull <url>`` diffs the inventory against its local cache and fetches
 only the missing entries, digest-verified (see :mod:`repro.fabric.sync`).
+
+Security model: work uploads are *pickled* payloads, so anyone who can
+POST to these routes can execute code in the coordinator process.  Two
+gates keep that surface closed by default:
+
+* the serve front-end only mounts fabric routes when its session actually
+  runs in remote pool mode (``REPRO_POOL=remote``) — a plain query server
+  never carries them;
+* when ``REPRO_FABRIC_TOKEN`` is set, every fabric request must present it
+  in the ``X-Repro-Fabric-Token`` header (compared constant-time), and
+  :func:`require_loopback_or_token` refuses to *bind* a fabric surface to
+  a non-loopback address without one.  Workers and ``cache pull`` read the
+  same variable and attach the header automatically.
 """
 
 from __future__ import annotations
+
+import hmac
+import os
 
 from repro.fabric import wire as fabric_wire
 from repro.fabric.queue import FabricError, WorkQueue
@@ -29,6 +45,56 @@ from repro.metrics.results import RESULT_SCHEMA_VERSION
 from repro.runtime.cache import ResultCache
 from repro.serve.http import Request, Response
 from repro.serve.wire import CONTENT_DIGEST_HEADER, dump_body, error_record
+
+#: Header carrying the shared fabric secret (lowercased form is what the
+#: parsed :class:`~repro.serve.http.Request` stores).
+TOKEN_HEADER = "X-Repro-Fabric-Token"
+
+#: Bind addresses that are reachable from the local host only.
+LOOPBACK_HOSTS = frozenset({"127.0.0.1", "localhost", "::1"})
+
+
+def fabric_token() -> str | None:
+    """The shared secret from ``REPRO_FABRIC_TOKEN`` (``None`` when unset)."""
+    return os.environ.get("REPRO_FABRIC_TOKEN") or None
+
+
+def check_token(request: Request) -> None:
+    """Enforce the shared secret on one fabric request.
+
+    A no-op while no token is configured; with one set, a request whose
+    ``X-Repro-Fabric-Token`` header does not match (constant-time compare)
+    is refused with a ``403`` before any route logic runs.
+    """
+    token = fabric_token()
+    if token is None:
+        return
+    presented = request.headers.get(TOKEN_HEADER.lower(), "")
+    if not hmac.compare_digest(presented.encode(), token.encode()):
+        raise FabricError(
+            403, f"fabric routes require a valid {TOKEN_HEADER} header"
+        )
+
+
+def require_loopback_or_token(host: str, *, surface: str) -> None:
+    """Refuse to expose fabric routes beyond loopback without a token.
+
+    Work uploads deserialize pickled payloads, so an unauthenticated
+    non-loopback fabric listener is remote code execution for anyone who
+    can reach the port.  Called before binding; raises :class:`ValueError`
+    with the remediation (set ``REPRO_FABRIC_TOKEN`` on the coordinator
+    and every worker/peer).
+    """
+    if host in LOOPBACK_HOSTS or fabric_token() is not None:
+        return
+    raise ValueError(
+        f"refusing to bind {surface} on {host!r}: fabric work uploads are "
+        "pickled payloads, so a non-loopback listener without auth lets "
+        "anyone on the network run code in this process. Set "
+        "REPRO_FABRIC_TOKEN (the same value on the coordinator and every "
+        "worker/peer) or bind to 127.0.0.1."
+    )
+
 
 def is_fabric_path(path: str) -> bool:
     """Whether ``path`` belongs to the fabric's route family (the serve
@@ -48,6 +114,7 @@ def dispatch_route(
     listeners call it via ``asyncio.to_thread`` since completions write to
     disk and uploads are CPU-bound to verify."""
     try:
+        check_token(request)
         if path == "/v1/work/stats":
             if request.method != "GET":
                 return _error(405, "work stats is GET")

@@ -30,7 +30,7 @@ from repro.fabric.queue import WorkQueue
 from repro.runtime.cache import ResultCache
 from repro.serve.http import (
     HttpError,
-    WORK_MAX_BODY_BYTES,
+    body_bound_for_path,
     encode_response,
     read_request,
 )
@@ -69,12 +69,21 @@ class Coordinator:
     def ensure_listener(
         self, host: str | None = None, port: int | None = None
     ) -> str:
-        """Start (or return) the standalone work listener; returns its URL."""
+        """Start (or return) the standalone work listener; returns its URL.
+
+        Refuses (``ValueError``) to bind a non-loopback address unless
+        ``REPRO_FABRIC_TOKEN`` is set — the work routes deserialize pickled
+        uploads, so an open listener would be remote code execution.
+        """
+        from repro.fabric.api import require_loopback_or_token
+
+        bind_host = host or os.environ.get("REPRO_FABRIC_HOST", "127.0.0.1")
+        require_loopback_or_token(bind_host, surface="the fabric listener")
         with self._lock:
             if self._listener is None:
                 listener = _FabricListener(
                     self,
-                    host=host or os.environ.get("REPRO_FABRIC_HOST", "127.0.0.1"),
+                    host=bind_host,
                     port=(
                         port
                         if port is not None
@@ -142,8 +151,10 @@ class _FabricListener:
             while True:
                 keep_alive = False
                 try:
+                    # Per-route bound: only /v1/work/complete admits large
+                    # uploads; the other fabric routes parse tiny records.
                     request = await read_request(
-                        reader, max_body=WORK_MAX_BODY_BYTES
+                        reader, max_body=body_bound_for_path
                     )
                     if request is None:
                         break

@@ -20,10 +20,16 @@ Every upload is verified before it can touch anything: blob digests are
 recomputed, payloads must unpickle, and the outcome count must match the
 chunk the *coordinator* keyed (results are bound to the coordinator's own
 ``SimJob.key()`` values, never to keys the worker declares).  A corrupt
-upload is rejected with a ``400``, the item goes back on the queue, and the
-content-addressed cache is never poisoned.  The first *valid* completion
-wins; duplicates (a stalled worker finishing after its lease was reassigned)
-are acknowledged idempotently.
+upload is rejected with a ``400`` and the item goes back on the queue.  For
+the *extras* path (nested results a chunk touched) the keys are necessarily
+worker-declared — the coordinator cannot derive a chunk's nested key set
+without executing it — so its guarantee is narrower: an extra must carry a
+well-formed content key and decode, and it may only *fill an absent* cache
+entry, never replace existing bytes.  What lands under a fresh extras key
+is trusted to the worker set, which is why the fabric surface is opt-in and
+token-guarded (:mod:`repro.fabric.api`) rather than open.  The first
+*valid* completion wins; duplicates (a stalled worker finishing after its
+lease was reassigned) are acknowledged idempotently.
 
 Environment knobs:
 
@@ -177,8 +183,13 @@ class WorkQueue:
         would have returned locally."""
         if not chunk:
             raise ValueError("cannot submit an empty chunk")
+        # Built outside the lock: the constructor pickles the whole chunk
+        # (wire.encode_jobs), and serializing megabytes under the lock would
+        # stall concurrent claim/heartbeat/complete calls — delaying exactly
+        # the lease extensions a long batch depends on.  (``itertools.count``
+        # is safe to advance concurrently.)
+        item = WorkItem(f"w{next(self._ids):08d}", chunk, extras_dir)
         with self._lock:
-            item = WorkItem(f"w{next(self._ids):08d}", chunk, extras_dir)
             self._items[item.item_id] = item
             self._pending.append(item)
         return item.future
@@ -313,8 +324,15 @@ class WorkQueue:
         # future's waiter is the runner thread, which immediately caches the
         # outcomes — no reason to serialise that against other claims.
         if extras_cache is not None:
+            # Extras keys are worker-declared, so they only get to *fill*
+            # absent entries — an existing entry keeps its bytes.  Honest
+            # workers lose nothing (a present entry is already the right
+            # bytes: the cache key binds every simulation input), and a
+            # corrupt worker cannot replace entries of unrelated jobs.
+            absent = set(extras_cache.missing([key for key, _blob in extras]))
             for key, blob in extras:
-                extras_cache.put_blob(key, blob)
+                if key in absent:
+                    extras_cache.put_blob(key, blob)
         error = RemoteWorkerError(error_text) if error_text else None
         self._resolve(item, (outcomes, error))
         return {"status": "accepted", "item_id": item_id}

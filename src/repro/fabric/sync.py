@@ -7,8 +7,12 @@ diff the peer's key inventory (``GET /v1/cache/keys``) against the local
 :meth:`~repro.runtime.cache.ResultCache.missing` probe, fetch only the
 absent entries (``GET /v1/cache/entry/<key>``), verify each blob against
 the digest header and a trial unpickle, and store the raw bytes.  A
-corrupt or vanished entry is skipped, never stored — the local cache can
-only gain valid entries.
+corrupt or vanished entry — or one whose response carries *no* digest
+header at all (a proxy or foreign peer that stripped it) — is skipped,
+never stored: the local cache can only gain verified entries.
+
+When the peer requires the shared fabric secret (``REPRO_FABRIC_TOKEN``),
+the same environment variable makes every request carry it.
 """
 
 from __future__ import annotations
@@ -34,12 +38,25 @@ class PullReport:
     skipped: int
 
 
+def _open(url: str, timeout: float):
+    """``urlopen`` with the shared fabric secret attached when configured."""
+    from repro.fabric.api import TOKEN_HEADER, fabric_token
+
+    headers = {}
+    token = fabric_token()
+    if token is not None:
+        headers[TOKEN_HEADER] = token
+    return urllib.request.urlopen(
+        urllib.request.Request(url, headers=headers), timeout=timeout
+    )
+
+
 def pull_cache(
     cache: ResultCache, base_url: str, timeout: float = 60.0
 ) -> PullReport:
     """Merge every entry the peer at ``base_url`` has and we do not."""
     base = base_url.rstrip("/")
-    with urllib.request.urlopen(base + "/v1/cache/keys", timeout=timeout) as response:
+    with _open(base + "/v1/cache/keys", timeout) as response:
         record = json.loads(response.read().decode("utf-8"))
     keys = record.get("keys", [])
     if not isinstance(keys, list):
@@ -50,16 +67,18 @@ def pull_cache(
     skipped = 0
     for key in absent:
         try:
-            with urllib.request.urlopen(
-                base + "/v1/cache/entry/" + key, timeout=timeout
-            ) as response:
+            with _open(base + "/v1/cache/entry/" + key, timeout) as response:
                 blob = response.read()
                 declared = response.headers.get(CONTENT_DIGEST_HEADER)
         except urllib.error.HTTPError:
             skipped += 1  # pruned (or never served) between inventory and fetch
             continue
-        if declared is not None and wire.digest(blob) != declared:
-            skipped += 1  # transit corruption; do not store
+        if declared is None or wire.digest(blob) != declared:
+            # No digest header means no provenance (a proxy stripped it, or
+            # the peer is not a repro coordinator) — as unacceptable as a
+            # mismatch.  Skipping keeps "digest-verified before storing"
+            # strict instead of best-effort.
+            skipped += 1
             continue
         try:
             pickle.loads(blob)

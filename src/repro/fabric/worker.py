@@ -136,18 +136,29 @@ class DirectClient:
 
 
 class HttpClient:
-    """Speaks the coordinator's ``/v1/work/*`` JSON protocol over HTTP."""
+    """Speaks the coordinator's ``/v1/work/*`` JSON protocol over HTTP.
+
+    When ``REPRO_FABRIC_TOKEN`` is set (the coordinator's shared secret),
+    every request carries it in the auth header — the same environment
+    variable configures both sides of the connection.
+    """
 
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
     def _post(self, route: str, record: dict) -> dict:
+        from repro.fabric.api import TOKEN_HEADER, fabric_token
+
         body = json.dumps(record).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        token = fabric_token()
+        if token is not None:
+            headers[TOKEN_HEADER] = token
         request = urllib.request.Request(
             self.base_url + route,
             data=body,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method="POST",
         )
         try:

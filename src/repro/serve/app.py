@@ -9,17 +9,21 @@ Endpoints (all JSON; see the README's "Serving" section for curl examples):
 ``POST /v1/sweep``            a ``SweepSpec`` record — ``200`` warm, ``202`` cold
 ``GET /v1/jobs/<key>``        poll a background job — ``202`` running, ``200`` done
 ``GET /v1/cache/stats``       result-cache + runner telemetry
-``POST /v1/work/*``           the fabric's claim/heartbeat/complete protocol
-``GET /v1/work/stats``        work-queue telemetry
-``GET /v1/cache/keys``        cache key inventory (replication)
-``GET /v1/cache/entry/<key>`` one raw entry, digest-verified (replication)
+``POST /v1/work/*``           the fabric's claim/heartbeat/complete protocol*
+``GET /v1/work/stats``        work-queue telemetry*
+``GET /v1/cache/keys``        cache key inventory (replication)*
+``GET /v1/cache/entry/<key>`` one raw entry, digest-verified (replication)*
 ============================  =================================================
 
-The ``/v1/work`` and cache-replication routes (:mod:`repro.fabric.api`)
-make every serve instance a fabric coordinator surface: run the server with
-``REPRO_POOL=remote`` and point ``python -m repro worker <url>`` processes
-at the same port — cold figure/sweep jobs then execute on the workers while
-``/v1/jobs`` progress streams through from their remote completions.
+The starred ``/v1/work`` and cache-replication routes
+(:mod:`repro.fabric.api`) are mounted **only when the session's runner is
+in remote pool mode** — run the server with ``REPRO_POOL=remote`` and
+point ``python -m repro worker <url>`` processes at the same port; cold
+figure/sweep jobs then execute on the workers while ``/v1/jobs`` progress
+streams through from their remote completions.  A plain query server never
+carries them: work uploads are pickled payloads, so the fabric surface is
+strictly opt-in, and exposing it beyond loopback requires the shared
+``REPRO_FABRIC_TOKEN`` secret (see :mod:`repro.fabric.api`).
 
 Request handling never blocks the event loop on simulation: warm responses
 are collated on a worker thread (``asyncio.to_thread``) and cold requests
@@ -43,10 +47,11 @@ from repro.api.session import Session
 from repro.serve.executor import DONE, FAILED, JobManager, ServeJob
 from repro.serve.http import (
     ALLOWED_METHODS,
-    WORK_MAX_BODY_BYTES,
+    MAX_BODY_BYTES,
     HttpError,
     Request,
     Response,
+    body_bound_for_path,
     encode_response,
     read_request,
 )
@@ -62,6 +67,12 @@ class ServeApp:
     def __init__(self, session: Session) -> None:
         self.session = session
         self.manager = JobManager(session)
+        #: Fabric routes are opt-in: only a session whose runner dispatches
+        #: to the remote fabric is a coordinator surface.  A plain query
+        #: server must not carry the pickle-deserializing upload routes.
+        self.fabric_routes = (
+            getattr(session.runner, "pool_mode", None) == "remote"
+        )
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -73,10 +84,16 @@ class ServeApp:
             while True:
                 keep_alive = False
                 try:
-                    # The larger bound admits fabric result uploads; every
-                    # non-work route still only ever parses tiny records.
+                    # Only a coordinator surface admits large bodies, and
+                    # then only on the upload route — every other route
+                    # keeps the tiny-JSON bound.
                     request = await read_request(
-                        reader, max_body=WORK_MAX_BODY_BYTES
+                        reader,
+                        max_body=(
+                            body_bound_for_path
+                            if self.fabric_routes
+                            else MAX_BODY_BYTES
+                        ),
                     )
                     if request is None:
                         break
@@ -121,20 +138,23 @@ class ServeApp:
             return self._json(200, wire.cache_stats_record(report))
         # Fabric routes (work queue + cache replication) delegate to the
         # shared handler so this surface and the standalone fabric listener
-        # speak one protocol.  Imported lazily: repro.fabric imports this
-        # module's siblings at load, so a top-level import would cycle.
-        from repro.fabric import api as fabric_api
+        # speak one protocol — but only when this session opted into remote
+        # pool mode; otherwise the paths fall through to the 404 below.
+        # Imported lazily: repro.fabric imports this module's siblings at
+        # load, so a top-level import would cycle.
+        if self.fabric_routes:
+            from repro.fabric import api as fabric_api
 
-        if fabric_api.is_fabric_path(path):
-            from repro.fabric import shared_queue
+            if fabric_api.is_fabric_path(path):
+                from repro.fabric import shared_queue
 
-            return await asyncio.to_thread(
-                fabric_api.dispatch_route,
-                path,
-                request,
-                shared_queue(),
-                self.session.cache,
-            )
+                return await asyncio.to_thread(
+                    fabric_api.dispatch_route,
+                    path,
+                    request,
+                    shared_queue(),
+                    self.session.cache,
+                )
         if path.startswith("/v1/figure/"):
             if request.method != "GET":
                 return self._error(405, "figure queries are GET")
@@ -250,6 +270,15 @@ def run_server(
     session: Session, host: str = "127.0.0.1", port: int = 8734
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``."""
+    app = ServeApp(session)
+    if app.fabric_routes:
+        from repro.fabric.api import require_loopback_or_token
+
+        try:
+            require_loopback_or_token(host, surface="the serve front-end")
+        except ValueError as error:
+            print(f"[repro.serve] {error}", file=sys.stderr)
+            return 2
 
     async def main(app: ServeApp) -> None:
         server = await start_server(app, host, port)
@@ -263,7 +292,6 @@ def run_server(
         async with server:
             await server.serve_forever()
 
-    app = ServeApp(session)
     try:
         asyncio.run(main(app))
     except KeyboardInterrupt:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
+from typing import Callable
 from urllib.parse import unquote
 
 #: Reason phrases for every status the app emits.
@@ -25,6 +26,8 @@ REASONS = {
     202: "Accepted",
     304: "Not Modified",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
@@ -39,11 +42,24 @@ ALLOWED_METHODS = ("GET", "POST")
 MAX_HEADER_COUNT = 100
 MAX_BODY_BYTES = 1 << 20  # 1 MiB — a SweepSpec record is a few hundred bytes
 
-#: Body bound for listeners that also accept fabric work uploads: a
+#: Body bound for the one route that accepts fabric work uploads: a
 #: ``/v1/work/complete`` payload carries a chunk's pickled result records
 #: (base64-inflated), which can legitimately run to megabytes on full-scale
-#: sweeps.  Request records stay tiny either way.
+#: sweeps.  Every other route still parses tiny JSON records and keeps the
+#: 1 MiB bound — see :func:`body_bound_for_path`.
 WORK_MAX_BODY_BYTES = 64 << 20
+
+
+def body_bound_for_path(path: str) -> int:
+    """Per-route request-body bound for listeners carrying fabric routes.
+
+    Only ``/v1/work/complete`` may carry a large upload; holding every other
+    route at :data:`MAX_BODY_BYTES` keeps the big bound from widening the
+    memory exposure of the whole surface (bodies are read fully into memory).
+    """
+    if path.rstrip("/") == "/v1/work/complete":
+        return WORK_MAX_BODY_BYTES
+    return MAX_BODY_BYTES
 
 
 class HttpError(Exception):
@@ -84,15 +100,19 @@ class Response:
 
 
 async def read_request(
-    reader: asyncio.StreamReader, *, max_body: int = MAX_BODY_BYTES
+    reader: asyncio.StreamReader,
+    *,
+    max_body: int | Callable[[str], int] = MAX_BODY_BYTES,
 ) -> Request | None:
     """Parse one request off the stream; ``None`` on clean end-of-stream.
 
     Raises :class:`HttpError` for anything malformed — the connection
     handler reports the status and closes, which is the correct recovery
     for a framing error (the stream position is no longer trustworthy).
-    ``max_body`` is the ``413`` bound; listeners accepting fabric result
-    uploads pass :data:`WORK_MAX_BODY_BYTES`.
+    ``max_body`` is the ``413`` bound: an integer, or a callable mapping the
+    percent-decoded request path to a bound (listeners carrying fabric
+    result uploads pass :func:`body_bound_for_path` so only the upload
+    route admits large bodies).
     """
     try:
         line = await reader.readline()
@@ -127,6 +147,8 @@ async def read_request(
         # chunked body would leave its bytes on the stream to be misread as
         # the next request — the request-smuggling desync class.
         raise HttpError(400, "Transfer-Encoding is not supported; use Content-Length")
+    path, _sep, _query = target.partition("?")
+    path = unquote(path)
     body = b""
     if "content-length" in headers:
         try:
@@ -135,15 +157,15 @@ async def read_request(
             raise HttpError(400, "malformed Content-Length") from None
         if length < 0:
             raise HttpError(400, "malformed Content-Length")
-        if length > max_body:
-            raise HttpError(413, f"body larger than {max_body} bytes")
+        bound = max_body(path) if callable(max_body) else max_body
+        if length > bound:
+            raise HttpError(413, f"body larger than {bound} bytes")
         try:
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError:
             raise HttpError(400, "truncated body") from None
 
-    path, _sep, _query = target.partition("?")
-    return Request(method=method, path=unquote(path), headers=headers, body=body)
+    return Request(method=method, path=path, headers=headers, body=body)
 
 
 def encode_response(response: Response, *, keep_alive: bool) -> bytes:

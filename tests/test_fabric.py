@@ -288,6 +288,31 @@ class TestWorkQueue:
             queue.complete("w1", record)
         assert queue.snapshot()["rejected_uploads"] == 1
 
+    def test_extras_never_overwrite_existing_entries(self, tmp_path):
+        """Extras keys are worker-declared, so they may only fill absent
+        cache entries — a completion naming an already-present key must
+        leave the original bytes untouched."""
+        existing_key = _content_key("already present")
+        original = pickle.dumps({"original": True}, protocol=pickle.HIGHEST_PROTOCOL)
+        ResultCache(tmp_path).put_blob(existing_key, original)
+        fresh_key = _content_key("genuinely new")
+        fresh_blob = pickle.dumps({"fresh": True}, protocol=pickle.HIGHEST_PROTOCOL)
+        imposter = pickle.dumps({"imposter": True}, protocol=pickle.HIGHEST_PROTOCOL)
+        queue = WorkQueue(lease_seconds=30)
+        queue.submit_chunk(_chunk(1), extras_dir=str(tmp_path))
+        (claimed,), _ = queue.claim("w1")
+        queue.complete(
+            "w1",
+            _completion(
+                claimed,
+                ["r0"],
+                extras=[(existing_key, imposter), (fresh_key, fresh_blob)],
+            ),
+        )
+        cache = ResultCache(tmp_path)
+        assert cache.get_blob(existing_key) == original
+        assert cache.get_blob(fresh_key) == fresh_blob
+
     def test_extras_must_carry_content_keys(self, tmp_path):
         queue = WorkQueue(lease_seconds=30)
         queue.submit_chunk(_chunk(1), extras_dir=str(tmp_path))
@@ -770,6 +795,62 @@ class TestHttpFabric:
             assert again.fetched == 0
             assert again.already_present == again.remote_entries
 
+    def test_plain_serve_does_not_mount_fabric_routes(self, tmp_path):
+        """A query-only serve instance (local pool) must not carry the
+        pickle-deserializing fabric surface at all — every fabric path
+        answers 404, exactly like any unknown route."""
+        session = Session(
+            MICRO,
+            runner=BatchRunner(parallel=False, cache=ResultCache(tmp_path / "c")),
+        )
+        with BackgroundServer(session) as server:
+            for method, path, body in [
+                ("GET", "/v1/work/stats", None),
+                ("GET", "/v1/cache/keys", None),
+                ("POST", "/v1/work/claim", json.dumps({"worker": "rogue"}).encode()),
+                ("POST", "/v1/work/complete", json.dumps({"item_id": "w1"}).encode()),
+            ]:
+                status, _headers, _payload = _http(
+                    server, method, path, body,
+                    {"Content-Type": "application/json"} if body else None,
+                )
+                assert status == 404, (method, path)
+            # The ordinary query surface is untouched by the gating.
+            status, _headers, _payload = _http(server, "GET", "/healthz")
+            assert status == 200
+
+    def test_big_bodies_only_pass_on_the_upload_route(self, tmp_path):
+        """Even on a coordinator surface, the 64 MiB bound applies to
+        ``/v1/work/complete`` alone — a tiny-JSON route keeps the 1 MiB
+        bound and answers 413 to an oversized body."""
+        queue = WorkQueue(lease_seconds=30)
+        set_shared_coordinator(
+            Coordinator(queue, cache=ResultCache(tmp_path / "c"))
+        )
+        session = Session(
+            MICRO,
+            runner=BatchRunner(
+                parallel=True,
+                max_workers=2,
+                pool_mode="remote",
+                cache=ResultCache(tmp_path / "c"),
+            ),
+        )
+        big = json.dumps({"item_id": "w99999999", "pad": "x" * (2 << 20)}).encode()
+        with BackgroundServer(session) as server:
+            status, _headers, _payload = _http(
+                server, "POST", "/v1/sweep", big,
+                {"Content-Type": "application/json"},
+            )
+            assert status == 413
+            # The upload route reads the same body fine (and then rejects
+            # it for naming an unknown item, proving it got past the bound).
+            status, _headers, _payload = _http(
+                server, "POST", "/v1/work/complete", big,
+                {"Content-Type": "application/json"},
+            )
+            assert status == 404
+
     def test_worker_cli_subprocess_end_to_end(self, tmp_path):
         """``python -m repro worker <url>`` — the real deployment shape —
         claims and completes a chunk against a live listener."""
@@ -800,3 +881,106 @@ class TestHttpFabric:
         assert error is None and len(outcomes) == 1, stderr
         assert "subprocess-worker polling" in stderr
         assert queue.snapshot()["done"] == 1
+
+
+# ----------------------------------------------------------------------
+# Authentication and exposure gates
+# ----------------------------------------------------------------------
+class TestFabricAuth:
+    def test_dispatch_requires_the_token_when_configured(self, monkeypatch):
+        from repro.fabric import api
+        from repro.serve.http import Request
+
+        queue = WorkQueue(lease_seconds=30)
+
+        def stats(headers):
+            return api.dispatch_route(
+                "/v1/work/stats",
+                Request(method="GET", path="/v1/work/stats", headers=headers),
+                queue,
+                None,
+            )
+
+        monkeypatch.delenv("REPRO_FABRIC_TOKEN", raising=False)
+        assert stats({}).status == 200  # tokenless deployments stay open
+        monkeypatch.setenv("REPRO_FABRIC_TOKEN", "fabric-secret")
+        assert stats({}).status == 403
+        assert stats({api.TOKEN_HEADER.lower(): "wrong"}).status == 403
+        assert stats({api.TOKEN_HEADER.lower(): "fabric-secret"}).status == 200
+
+    def test_non_loopback_listener_requires_a_token(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FABRIC_TOKEN", raising=False)
+        coordinator = Coordinator(WorkQueue(lease_seconds=30), cache=None)
+        try:
+            with pytest.raises(ValueError, match="REPRO_FABRIC_TOKEN"):
+                coordinator.ensure_listener(host="0.0.0.0", port=0)
+            assert coordinator.url is None
+            monkeypatch.setenv("REPRO_FABRIC_TOKEN", "fabric-secret")
+            assert coordinator.ensure_listener(host="0.0.0.0", port=0)
+        finally:
+            coordinator.close()
+
+    def test_token_protected_listener_end_to_end(self, tmp_path, monkeypatch):
+        """With the secret exported, a tokenless client is refused while the
+        worker and ``cache pull`` (which read the same variable) work."""
+        monkeypatch.setenv("REPRO_FABRIC_TOKEN", "fabric-secret")
+        queue = WorkQueue(lease_seconds=30)
+        cache = ResultCache(tmp_path / "coordinator")
+        coordinator = Coordinator(queue, cache=cache)
+        set_shared_coordinator(coordinator)  # the hygiene fixture closes it
+        url = coordinator.ensure_listener(port=0)
+
+        for route in ("/v1/work/stats", "/v1/cache/keys"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url + route, timeout=60)
+            assert excinfo.value.code == 403, route
+
+        job = _job()
+        future = queue.submit_chunk([(job.key(), job)])
+        member = start_worker(url, worker_id="tokened", cache_dir=tmp_path / "w0")
+        try:
+            outcomes, error = future.result(timeout=180)
+        finally:
+            member.stop()
+        assert error is None and len(outcomes) == 1
+
+        pulled = ResultCache(tmp_path / "pulled")
+        report = pull_cache(pulled, url)
+        assert report.skipped == 0
+        assert sorted(pulled.keys()) == sorted(cache.keys())
+
+    def test_pull_skips_entries_without_a_digest_header(
+        self, tmp_path, monkeypatch
+    ):
+        """A peer (or proxy) that strips the digest header gets its entries
+        skipped — 'digest-verified before storing' is strict, not
+        best-effort."""
+        from repro.fabric import sync
+
+        key = _content_key("naked entry")
+        blob = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
+
+        class FakeResponse:
+            def __init__(self, payload, headers):
+                self._payload = payload
+                self.headers = headers
+
+            def read(self):
+                return self._payload
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+        def fake_open(url, timeout):
+            if url.endswith("/v1/cache/keys"):
+                return FakeResponse(json.dumps({"keys": [key]}).encode(), {})
+            return FakeResponse(blob, {})  # digest header stripped
+
+        monkeypatch.setattr(sync, "_open", fake_open)
+        report = pull_cache(ResultCache(tmp_path), "http://peer")
+        assert report.remote_entries == 1
+        assert report.skipped == 1 and report.fetched == 0
+        assert ResultCache(tmp_path).get_blob(key) is None

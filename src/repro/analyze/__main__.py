@@ -1,0 +1,125 @@
+"""CLI of the static analyzer: ``python -m repro.analyze [options]``.
+
+Modes (see the README's "Static analysis" section for the workflow):
+
+* default            — report non-baselined findings, always exit 0.
+* ``--check``        — exit 1 on any non-baselined finding *or* any stale
+                       baseline entry (the baseline may only shrink).
+* ``--baseline``     — rewrite ``analyze_baseline.txt`` from the current
+                       findings.
+* ``--refresh-schema-lock`` — re-record the wire schema fingerprints
+                       after a deliberate version bump.
+* ``--knobs-table``  — print the README knobs table generated from
+                       :mod:`repro.knobs`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analyze import run_checkers
+from repro.analyze.core import load_project, read_baseline, write_baseline
+from repro.analyze.wire_hygiene import compute_schema_lock
+
+
+def default_paths():
+    """(scan root, readme, baseline, schema lock) for the installed tree."""
+    package_dir = Path(__file__).resolve().parent.parent  # src/repro
+    repo_root = package_dir.parent.parent
+    return (
+        package_dir,
+        repo_root / "README.md",
+        repo_root / "analyze_baseline.txt",
+        package_dir / "analyze" / "schema_lock.json",
+    )
+
+
+def _print_knobs_table() -> None:
+    from repro import knobs
+
+    print("| Variable | Meaning |")
+    print("| --- | --- |")
+    for name, doc in knobs.table_rows():
+        print(f"| `{name}` | {doc} |")
+
+
+def main(argv: list[str] | None = None) -> int:
+    scan_root, readme, baseline_path, lock_path = default_paths()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Repo-invariant static analysis over src/repro.",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on new findings or stale baseline entries",
+    )
+    parser.add_argument(
+        "--baseline", action="store_true",
+        help="rewrite the baseline file from the current findings",
+    )
+    parser.add_argument(
+        "--refresh-schema-lock", action="store_true",
+        help="re-record the wire schema fingerprints",
+    )
+    parser.add_argument(
+        "--knobs-table", action="store_true",
+        help="print the README knobs table from repro.knobs",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=scan_root,
+        help="directory to scan (default: the installed repro package)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.knobs_table:
+        _print_knobs_table()
+        return 0
+
+    project = load_project(
+        args.root, readme=readme, schema_lock=lock_path
+    )
+
+    if args.refresh_schema_lock:
+        record = compute_schema_lock(project)
+        lock_path.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"schema lock refreshed: {lock_path}")
+        return 0
+
+    findings = run_checkers(project)
+
+    if args.baseline:
+        write_baseline(baseline_path, {f.identity() for f in findings})
+        print(f"baseline written: {baseline_path} ({len(findings)} findings)")
+        return 0
+
+    baseline = read_baseline(baseline_path)
+    current = {f.identity() for f in findings}
+    fresh = [f for f in findings if f.identity() not in baseline]
+    stale = sorted(baseline - current)
+
+    for finding in fresh:
+        print(finding.render())
+    for entry in stale:
+        print(f"stale baseline entry (fix is in — prune it): {entry}")
+
+    grandfathered = len(findings) - len(fresh)
+    summary = (
+        f"{len(fresh)} new finding(s), {grandfathered} baselined, "
+        f"{len(stale)} stale baseline entr(y/ies) "
+        f"over {len(project.modules)} modules"
+    )
+    print(summary)
+
+    if args.check and (fresh or stale):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Rule ``bare-except`` — no handler swallows errors without accounting.
+
+A broad exception handler is legitimate in exactly three shapes, all of
+which keep the error observable:
+
+* it **re-raises** (cleanup wrappers: ``except BaseException: ...; raise``),
+* it **binds and uses** the exception (``except Exception as error:`` where
+  ``error`` is logged, stored or wrapped), or
+* it carries an explicit ``# repro: allow[bare-except]`` comment whose
+  neighbouring prose says why discarding the error is the right call.
+
+Everything else — a literal bare ``except:``, or a silent
+``except Exception: pass`` — is flagged.  Narrow handlers
+(``except OSError:`` etc.) are never the business of this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.core import (
+    Finding,
+    Module,
+    Project,
+    emit,
+    enclosing_function_name,
+)
+
+RULE = "bare-except"
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(item, ast.Name) and item.id in _BROAD
+            for item in node.elts
+        )
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _binds_and_uses(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    for statement in handler.body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Name) and node.id == handler.name:
+                return True
+    return False
+
+
+def check_module(module: Module, findings: list[Finding]) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler) or not _is_broad(node):
+            continue
+        if _reraises(node) or _binds_and_uses(node):
+            continue
+        caught = "bare except:" if node.type is None else "except Exception"
+        emit(
+            findings, module, RULE, node.lineno,
+            f"{caught} silently discards the error; narrow it, re-raise, "
+            "or bind and report the exception",
+            f"{enclosing_function_name(module, node.lineno)}->except",
+        )
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        check_module(module, findings)
+    return findings

@@ -1,0 +1,251 @@
+"""Core of the ``repro.analyze`` static-analysis framework.
+
+The analyzer parses every module under a scan root with the stdlib ``ast``
+module — no third-party dependency, no import of the analyzed code — and
+runs a fixed set of repo-specific checkers over the parsed project
+(:mod:`determinism <repro.analyze.determinism>`, :mod:`lock discipline
+<repro.analyze.locks>`, :mod:`pickle boundary
+<repro.analyze.pickle_boundary>`, :mod:`env knobs
+<repro.analyze.env_knobs>`, :mod:`wire hygiene
+<repro.analyze.wire_hygiene>`, :mod:`bare except
+<repro.analyze.bare_except>`).
+
+Three framework-level mechanisms live here:
+
+* **Findings** — a finding's :meth:`Finding.identity` deliberately excludes
+  the line number, so unrelated edits above a grandfathered finding do not
+  churn the baseline file.
+* **Suppressions** — a ``# repro: allow[rule]`` comment on the offending
+  line (or on a comment-only line directly above it) silences one or more
+  named rules at that site; the comment itself documents why.
+* **Baseline** — ``analyze_baseline.txt`` at the repo root grandfathers
+  pre-existing findings.  ``--check`` fails on any finding not in the
+  baseline *and* on any baseline entry that no longer fires (the file may
+  only shrink; prune fixed entries with ``--baseline``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: ``# repro: allow[rule-a,rule-b]`` — the one suppression syntax.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([a-z\-,\s]+)\]")
+
+#: A line carrying nothing but a comment (suppressions may sit one above).
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: Stable site label (function/route/attribute, not a line number) —
+    #: the baseline matches on this, so findings survive unrelated edits.
+    context: str
+
+    def identity(self) -> str:
+        return f"{self.path}::{self.rule}::{self.context}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    #: Posix path relative to the scan root's parent (``repro/...``).
+    rel: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    #: line number -> set of rule names allowed on that line.
+    allow: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_allowed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is suppressed at ``line``.
+
+        True when the line itself carries the allow comment, or the line
+        directly above is a comment-only line carrying it.
+        """
+        if rule in self.allow.get(line, ()):
+            return True
+        above = line - 1
+        if rule in self.allow.get(above, ()) and above >= 1:
+            return bool(_COMMENT_ONLY_RE.match(self.lines[above - 1]))
+        return False
+
+    def docstring(self) -> str:
+        return ast.get_docstring(self.tree) or ""
+
+
+@dataclass
+class Project:
+    """Everything one analysis run looks at."""
+
+    #: Directory the module ``rel`` paths are relative to.
+    root: Path
+    modules: list[Module]
+    #: README text for doc-sync checks (empty when the tree has none).
+    readme: str = ""
+    #: Where the wire-hygiene checker reads/writes its schema lock.
+    schema_lock_path: Path | None = None
+
+    def module(self, rel_suffix: str) -> Module | None:
+        """The unique module whose ``rel`` ends with ``rel_suffix``."""
+        hits = [m for m in self.modules if m.rel.endswith(rel_suffix)]
+        return hits[0] if len(hits) == 1 else None
+
+
+def _parse_allows(lines: list[str]) -> dict[int, set[str]]:
+    allow: dict[int, set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            allow[number] = {rule for rule in rules if rule}
+    return allow
+
+
+def load_module(path: Path, rel: str) -> Module:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    return Module(rel=rel, source=source, lines=lines, tree=tree,
+                  allow=_parse_allows(lines))
+
+
+def load_project(
+    scan_root: Path,
+    *,
+    rel_base: Path | None = None,
+    readme: Path | None = None,
+    schema_lock: Path | None = None,
+) -> Project:
+    """Parse every ``*.py`` under ``scan_root`` into a :class:`Project`.
+
+    ``rel_base`` (default: the scan root's parent) anchors the stored
+    relative paths, so scanning ``src/repro`` yields ``repro/...`` names.
+    """
+    base = rel_base if rel_base is not None else scan_root.parent
+    modules = [
+        load_module(path, path.relative_to(base).as_posix())
+        for path in sorted(scan_root.rglob("*.py"))
+    ]
+    readme_text = ""
+    if readme is not None and readme.is_file():
+        readme_text = readme.read_text(encoding="utf-8")
+    return Project(
+        root=base,
+        modules=modules,
+        readme=readme_text,
+        schema_lock_path=schema_lock,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers (used by several checkers)
+# ----------------------------------------------------------------------
+def import_map(tree: ast.Module) -> dict[str, tuple[str, str | None]]:
+    """Alias -> imported thing, for every top-of-module-visible import.
+
+    ``import time``            -> ``{"time": ("time", None)}``
+    ``import numpy as np``     -> ``{"np": ("numpy", None)}``
+    ``from time import time``  -> ``{"time": ("time", "time")}``
+    ``from os import urandom as u`` -> ``{"u": ("os", "urandom")}``
+
+    The second element is ``None`` for a module import and the original
+    member name for a from-import.
+    """
+    aliases: dict[str, tuple[str, str | None]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name, None
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name != "*":
+                    aliases[item.asname or item.name] = (node.module, item.name)
+    return aliases
+
+
+def functions_with_context(tree: ast.Module):
+    """Yield ``(qualname, class_name_or_None, funcdef)`` for every function.
+
+    ``qualname`` is ``Class.method`` for methods, the bare name otherwise;
+    nested functions get their own entry (qualified by the enclosing
+    function), so reachability walks see their bodies too.
+    """
+
+    def visit(node, prefix: str, cls: str | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, cls, child
+                yield from visit(child, f"{qual}.", cls)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.", child.name)
+            else:
+                yield from visit(child, prefix, cls)
+
+    yield from visit(tree, "", None)
+
+
+def enclosing_function_name(module: Module, line: int) -> str:
+    """Qualname of the innermost function containing ``line`` (for finding
+    contexts); ``"<module>"`` at module level."""
+    best: tuple[int, str] | None = None
+    for qual, _cls, funcdef in functions_with_context(module.tree):
+        end = getattr(funcdef, "end_lineno", funcdef.lineno)
+        if funcdef.lineno <= line <= end:
+            if best is None or funcdef.lineno > best[0]:
+                best = (funcdef.lineno, qual)
+    return best[1] if best is not None else "<module>"
+
+
+def emit(
+    findings: list[Finding],
+    module: Module,
+    rule: str,
+    line: int,
+    message: str,
+    context: str,
+) -> None:
+    """Append one finding unless an allow comment suppresses it."""
+    if not module.is_allowed(line, rule):
+        findings.append(
+            Finding(rule=rule, path=module.rel, line=line,
+                    message=message, context=context)
+        )
+
+
+# ----------------------------------------------------------------------
+# Baseline file
+# ----------------------------------------------------------------------
+def read_baseline(path: Path) -> set[str]:
+    if not path.is_file():
+        return set()
+    entries = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(path: Path, identities: set[str]) -> None:
+    header = (
+        "# Grandfathered repro.analyze findings — this file may only shrink.\n"
+        "# Regenerate with: python -m repro.analyze --baseline\n"
+    )
+    body = "".join(f"{entry}\n" for entry in sorted(identities))
+    path.write_text(header + body, encoding="utf-8")

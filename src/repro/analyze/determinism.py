@@ -1,0 +1,235 @@
+"""Rule ``determinism`` — cache-key paths must be pure functions of input.
+
+The whole caching/replication story rests on cache keys and wire records
+being bit-stable across processes, machines and Python versions.  Two
+sub-rules enforce that statically:
+
+1. **Reachability ban.**  Starting from every function named ``key`` (the
+   request/job content keys) and every function in a ``wire.py`` module
+   (the serializers ETags and blob records flow through), the checker
+   walks the call graph — simple-name resolution, same module first, then
+   a cross-module fallback only when at most :data:`MAX_CROSS_CANDIDATES`
+   functions project-wide share the name — and flags calls to wall clocks
+   (``time.time`` & friends), process-local identity (``id()``,
+   ``os.getpid``), randomness (``random.*``, ``os.urandom``, ``uuid4``)
+   and iteration over unordered ``set`` expressions.
+2. **Global-RNG ban (repo-wide, no reachability needed).**  ``np.random.*``
+   stateful calls and zero-argument ``default_rng()`` are flagged
+   anywhere: all numpy randomness must flow from an explicit seed
+   (``sparse/generate.py`` is the reason this repo reproduces at all).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.core import (
+    Finding,
+    Module,
+    Project,
+    emit,
+    functions_with_context,
+    import_map,
+)
+
+RULE = "determinism"
+
+#: Functions whose results differ between runs, by home module.
+BANNED_MODULE_MEMBERS: dict[str, frozenset] = {
+    "time": frozenset(
+        {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+         "perf_counter_ns", "process_time", "process_time_ns"}
+    ),
+    "os": frozenset({"urandom", "getrandom", "getpid"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+}
+
+#: Modules banned wholesale on key paths.
+BANNED_MODULES = frozenset({"random", "secrets"})
+
+#: Builtins banned on key paths (``id`` is per-process; ``hash`` of str or
+#: bytes changes with the interpreter's hash randomization).
+BANNED_BUILTINS = frozenset({"id", "hash"})
+
+#: ``np.random`` attributes that touch numpy's hidden global RNG state.
+BANNED_NP_RANDOM = frozenset(
+    {"random", "rand", "randn", "randint", "random_sample", "seed",
+     "shuffle", "permutation", "choice", "normal", "uniform", "pareto"}
+)
+
+#: Cross-module call-resolution cap: a simple name shared by more functions
+#: than this (e.g. ``get``, ``run``) is too ambiguous to follow.
+MAX_CROSS_CANDIDATES = 3
+
+
+def _function_index(project: Project):
+    """name -> [(module, qualname, funcdef)] over the whole project, plus a
+    per-module ``(module, name)`` variant for same-module-first resolution."""
+    by_name: dict[str, list] = {}
+    by_module_name: dict[tuple[str, str], list] = {}
+    class_inits: dict[str, list] = {}
+    for module in project.modules:
+        for qual, _cls, funcdef in functions_with_context(module.tree):
+            entry = (module, qual, funcdef)
+            by_name.setdefault(funcdef.name, []).append(entry)
+            by_module_name.setdefault((module.rel, funcdef.name), []).append(entry)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, ast.FunctionDef) and child.name in (
+                        "__init__", "__post_init__"
+                    ):
+                        class_inits.setdefault(node.name, []).append(
+                            (module, f"{node.name}.{child.name}", child)
+                        )
+    return by_name, by_module_name, class_inits
+
+
+def _called_names(funcdef) -> set[str]:
+    """Simple names this function's calls resolve through."""
+    names: set[str] = set()
+    for node in ast.walk(funcdef):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                names.add(node.func.id)
+            elif isinstance(node.func, ast.Attribute):
+                names.add(node.func.attr)
+    return names
+
+
+def _roots(project: Project):
+    """(module, qualname, funcdef) of every reachability root."""
+    for module in project.modules:
+        wire_module = module.rel.endswith("wire.py")
+        for qual, _cls, funcdef in functions_with_context(module.tree):
+            if wire_module or funcdef.name == "key":
+                yield module, qual, funcdef
+
+
+def _reachable(project: Project):
+    """Every ``(module, qualname, funcdef)`` reachable from the roots."""
+    by_name, by_module_name, class_inits = _function_index(project)
+    seen: set[int] = set()
+    reached: list = []
+    frontier = list(_roots(project))
+    while frontier:
+        module, qual, funcdef = frontier.pop()
+        if id(funcdef) in seen:
+            continue
+        seen.add(id(funcdef))
+        reached.append((module, qual, funcdef))
+        for name in _called_names(funcdef):
+            targets = by_module_name.get((module.rel, name))
+            if not targets:
+                targets = class_inits.get(name)
+            if not targets:
+                candidates = by_name.get(name, [])
+                targets = (
+                    candidates if len(candidates) <= MAX_CROSS_CANDIDATES else []
+                )
+            frontier.extend(targets)
+    return reached
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+    )
+
+
+def _check_function(
+    module: Module, qual: str, funcdef, findings: list[Finding]
+) -> None:
+    aliases = import_map(module.tree)
+    for node in ast.walk(funcdef):
+        if isinstance(node, ast.Call):
+            label = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+                if name in BANNED_BUILTINS:
+                    label = f"{name}()"
+                elif name in aliases:
+                    home, member = aliases[name]
+                    if member is not None and (
+                        home in BANNED_MODULES
+                        or member in BANNED_MODULE_MEMBERS.get(home, ())
+                    ):
+                        label = f"{home}.{member}"
+            elif isinstance(node.func, ast.Attribute) and isinstance(
+                node.func.value, ast.Name
+            ):
+                base = node.func.value.id
+                if base in aliases and aliases[base][1] is None:
+                    home = aliases[base][0]
+                    if home in BANNED_MODULES or node.func.attr in (
+                        BANNED_MODULE_MEMBERS.get(home, ())
+                    ):
+                        label = f"{home}.{node.func.attr}"
+            if label is not None:
+                emit(
+                    findings, module, RULE, node.lineno,
+                    f"{qual} is on a cache-key path but calls "
+                    f"nondeterministic {label}",
+                    f"{qual}->{label}",
+                )
+        iterables = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            iterables.extend(gen.iter for gen in node.generators)
+        for iterable in iterables:
+            if _is_set_expression(iterable):
+                emit(
+                    findings, module, RULE, iterable.lineno,
+                    f"{qual} is on a cache-key path but iterates an "
+                    "unordered set expression into ordered output",
+                    f"{qual}->set-iteration",
+                )
+
+
+def _check_global_rng(module: Module, findings: list[Finding]) -> None:
+    aliases = import_map(module.tree)
+    numpy_aliases = {
+        alias for alias, (home, member) in aliases.items()
+        if home == "numpy" and member is None
+    }
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        func = node.func
+        base = func.value
+        if not (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in numpy_aliases
+        ):
+            continue
+        if func.attr in BANNED_NP_RANDOM:
+            emit(
+                findings, module, RULE, node.lineno,
+                f"np.random.{func.attr} uses numpy's hidden global RNG; "
+                "thread a seeded Generator instead",
+                f"np.random.{func.attr}",
+            )
+        elif func.attr == "default_rng" and not node.args and not node.keywords:
+            emit(
+                findings, module, RULE, node.lineno,
+                "default_rng() without a seed is entropy-seeded; pass the "
+                "explicit seed parameter through",
+                "np.random.default_rng()",
+            )
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module, qual, funcdef in _reachable(project):
+        _check_function(module, qual, funcdef, findings)
+    for module in project.modules:
+        _check_global_rng(module, findings)
+    return findings

@@ -1,0 +1,93 @@
+"""Rule ``env-knob`` — ``REPRO_*`` environment reads go through the registry.
+
+:mod:`repro.knobs` declares every knob exactly once (name, default,
+parser, doc line); this rule keeps it that way by flagging any direct
+``os.environ.get("REPRO_…")`` / ``os.environ["REPRO_…"]`` /
+``os.getenv("REPRO_…")`` read outside the registry module itself.
+
+Only *reads* are flagged: ``os.environ.setdefault`` / subscript
+assignment (the CLI and test bootstrap configuring child behaviour)
+remain direct — the registry centralises where values are interpreted,
+not where they are produced.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.core import (
+    Finding,
+    Module,
+    Project,
+    emit,
+    enclosing_function_name,
+)
+
+RULE = "env-knob"
+
+#: The one module allowed to read ``REPRO_*`` from the environment.
+REGISTRY_MODULE = "repro/knobs.py"
+
+
+def _repro_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value.startswith("REPRO_"):
+            return node.value
+    return None
+
+
+def _is_os_environ(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+
+
+def check_module(module: Module, findings: list[Finding]) -> None:
+    if module.rel.endswith(REGISTRY_MODULE):
+        return
+
+    def flag(node: ast.AST, name: str, how: str) -> None:
+        emit(
+            findings, module, RULE, node.lineno,
+            f"direct {how} read of {name}; use repro.knobs.get({name!r})",
+            f"{enclosing_function_name(module, node.lineno)}->{name}",
+        )
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            func = node.func
+            if (
+                func.attr == "get"
+                and _is_os_environ(func.value)
+                and node.args
+            ):
+                name = _repro_name(node.args[0])
+                if name:
+                    flag(node, name, "os.environ.get")
+            elif (
+                func.attr == "getenv"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+                and node.args
+            ):
+                name = _repro_name(node.args[0])
+                if name:
+                    flag(node, name, "os.getenv")
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and _is_os_environ(node.value)
+        ):
+            name = _repro_name(node.slice)
+            if name:
+                flag(node, name, "os.environ[]")
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        check_module(module, findings)
+    return findings

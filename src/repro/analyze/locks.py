@@ -1,0 +1,121 @@
+"""Rule ``lock-discipline`` — annotated attributes stay under their lock.
+
+The runner, cache, fabric queue, serve executor and API session all share
+mutable state across threads and protect it with per-instance locks.  The
+convention is declared in the code itself: the ``__init__`` assignment of
+a guarded attribute carries a ``# guarded-by: _lock`` comment naming the
+lock attribute.  This checker reads those annotations and then verifies
+that **every other** ``self.<attr>`` access in the class sits lexically
+inside a matching ``with self.<lock>:`` block.
+
+Escapes, in keeping with the repo's conventions:
+
+* ``__init__`` itself (no concurrent access before construction returns),
+* methods whose name ends in ``_locked`` (documented must-hold-lock
+  helpers — their *callers* are checked instead),
+* sites with an explicit ``# repro: allow[lock-discipline]`` comment,
+  which is how deliberate lock-free fast paths (double-checked reads)
+  stay visible and auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analyze.core import Finding, Module, Project, emit
+
+RULE = "lock-discipline"
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+_SELF_ATTR_RE = re.compile(r"self\.([A-Za-z_]\w*)\s*(?::[^=]+)?[+\-|&^]?=[^=]")
+
+
+def _class_registry(module: Module) -> dict[str, dict[str, str]]:
+    """class name -> {attr: lock attr} from ``guarded-by`` annotations."""
+    annotated: dict[int, str] = {}
+    for number, text in enumerate(module.lines, start=1):
+        match = _GUARDED_RE.search(text)
+        if match:
+            annotated[number] = match.group(1)
+    if not annotated:
+        return {}
+    registry: dict[str, dict[str, str]] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for line, lock in annotated.items():
+            if not (node.lineno <= line <= getattr(node, "end_lineno", node.lineno)):
+                continue
+            attr_match = _SELF_ATTR_RE.search(module.lines[line - 1])
+            if attr_match:
+                registry.setdefault(node.name, {})[attr_match.group(1)] = lock
+    return registry
+
+
+def _with_locks(node: ast.AST) -> set[str]:
+    """Lock attribute names a ``with`` statement acquires (``self.X`` items)."""
+    locks: set[str] = set()
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                locks.add(expr.attr)
+    return locks
+
+
+def _check_method(
+    module: Module,
+    class_name: str,
+    method: ast.FunctionDef,
+    guarded: dict[str, str],
+    findings: list[Finding],
+) -> None:
+    def visit(node: ast.AST, held: frozenset) -> None:
+        now_held = held | _with_locks(node)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in guarded
+            and guarded[node.attr] not in held
+        ):
+            lock = guarded[node.attr]
+            emit(
+                findings, module, RULE, node.lineno,
+                f"{class_name}.{method.name} touches self.{node.attr} "
+                f"(guarded by {lock}) outside `with self.{lock}:`",
+                f"{class_name}.{method.name}->{node.attr}",
+            )
+        for child in ast.iter_child_nodes(node):
+            visit(child, now_held)
+
+    for statement in method.body:
+        visit(statement, frozenset())
+
+
+def check_module(module: Module, findings: list[Finding]) -> None:
+    registry = _class_registry(module)
+    if not registry:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) or node.name not in registry:
+            continue
+        guarded = registry[node.name]
+        for child in node.body:
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if child.name == "__init__" or child.name.endswith("_locked"):
+                continue
+            _check_method(module, node.name, child, guarded, findings)
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        check_module(module, findings)
+    return findings

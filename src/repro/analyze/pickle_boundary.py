@@ -1,0 +1,77 @@
+"""Rule ``pickle-boundary`` — ``pickle.loads`` only where it is defensible.
+
+Unpickling runs code, so where it may appear is a security decision, not a
+style one.  Exactly two modules are allowed to deserialize pickles:
+
+* ``repro/fabric/unpickle.py`` — the restricted unpickler itself, which is
+  *how* network-originated bytes are deserialized (``find_class``
+  allowlist), and
+* ``repro/runtime/cache.py`` — the local result cache, which only ever
+  reads bytes this same user wrote to their own cache directory.
+
+Everything else (queue uploads, claim payloads, replication pulls) must go
+through :func:`repro.fabric.unpickle.restricted_loads`.  ``pickle.dumps``
+is unrestricted — producing a pickle is harmless.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.core import (
+    Finding,
+    Module,
+    Project,
+    emit,
+    enclosing_function_name,
+    import_map,
+)
+
+RULE = "pickle-boundary"
+
+#: Modules allowed to unpickle (matched on the tail of the relative path).
+ALLOWED_MODULES = ("repro/fabric/unpickle.py", "repro/runtime/cache.py")
+
+#: ``pickle`` members that deserialize.
+LOADING_MEMBERS = frozenset({"loads", "load", "Unpickler"})
+
+
+def _module_allowed(module: Module) -> bool:
+    return any(module.rel.endswith(suffix) for suffix in ALLOWED_MODULES)
+
+
+def check_module(module: Module, findings: list[Finding]) -> None:
+    if _module_allowed(module):
+        return
+    aliases = import_map(module.tree)
+    pickle_aliases = {
+        alias for alias, (home, member) in aliases.items()
+        if home in ("pickle", "cPickle") and member is None
+    }
+    loader_aliases = {
+        alias for alias, (home, member) in aliases.items()
+        if home in ("pickle", "cPickle") and member in LOADING_MEMBERS
+    }
+
+    def flag(node: ast.AST, label: str) -> None:
+        emit(
+            findings, module, RULE, node.lineno,
+            f"{label} outside the unpickling allowlist "
+            "(use repro.fabric.unpickle.restricted_loads)",
+            f"{enclosing_function_name(module, node.lineno)}->{label}",
+        )
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id in pickle_aliases and node.attr in LOADING_MEMBERS:
+                flag(node, f"pickle.{node.attr}")
+        elif isinstance(node, ast.Name) and node.id in loader_aliases:
+            home, member = aliases[node.id]
+            flag(node, f"pickle.{member}")
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        check_module(module, findings)
+    return findings

@@ -87,8 +87,8 @@ class Session:
         elif parallel is not None or max_workers is not None or cache is not _DEFAULT:
             raise ValueError("pass either a runner or runner knobs, not both")
         self.runner = runner
-        self._end_to_end: EndToEndResults | None = None
-        self._layerwise: LayerwiseResults | None = None
+        self._end_to_end: EndToEndResults | None = None  # guarded-by: _grid_lock
+        self._layerwise: LayerwiseResults | None = None  # guarded-by: _grid_lock
         # Sessions are shared between threads (the serving front-end answers
         # every request through one), so the two grid memos are guarded: the
         # first caller computes, concurrent callers block and then reuse the
@@ -253,9 +253,9 @@ class Session:
             return jobs
         query = request if isinstance(request, FigureQuery) else FigureQuery(request)
         definition = get_figure(query.figure)
-        if definition.kind == "end_to_end" and self._end_to_end is None:
+        if definition.kind == "end_to_end" and self._end_to_end is None:  # repro: allow[lock-discipline]
             return end_to_end_jobs(self.settings)[0]
-        if definition.kind == "layerwise" and self._layerwise is None:
+        if definition.kind == "layerwise" and self._layerwise is None:  # repro: allow[lock-discipline]
             return layerwise_jobs(self.settings)[0]
         return []
 

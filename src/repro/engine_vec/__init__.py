@@ -47,7 +47,7 @@ so cached results are shared between them.
 
 from __future__ import annotations
 
-import os
+from repro import knobs
 
 #: The available engine backends, in preference order.
 ENGINE_BACKENDS = ("vectorized", "reference")
@@ -72,7 +72,7 @@ def resolve_engine_backend(name: str | None = None) -> str:
     to :data:`DEFAULT_ENGINE_BACKEND`.
     """
     return validate_engine_backend(
-        name or os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE_BACKEND
+        name or knobs.get("REPRO_ENGINE") or DEFAULT_ENGINE_BACKEND
     )
 
 

@@ -13,9 +13,9 @@ disables scaling entirely.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field, replace
 
+from repro import knobs
 from repro.arch.config import AcceleratorConfig, default_config
 from repro.engine_vec import DEFAULT_ENGINE_BACKEND, validate_engine_backend
 from repro.workloads.layers import LayerSpec, round_up_pow2, scale_for_budget
@@ -123,15 +123,15 @@ def default_settings(**overrides) -> ExperimentSettings:
     (``vectorized`` — the default — or ``reference``).
     """
     kwargs: dict = {}
-    if os.environ.get("REPRO_FULL_SCALE") == "1":
+    if knobs.get("REPRO_FULL_SCALE"):
         kwargs["max_dense_macs"] = None
-    env_budget = os.environ.get("REPRO_MAX_DENSE_MACS")
-    if env_budget:
-        kwargs["max_dense_macs"] = float(env_budget)
-    env_layers = os.environ.get("REPRO_MAX_LAYERS")
-    if env_layers:
-        kwargs["max_layers_per_model"] = int(env_layers)
-    env_engine = os.environ.get("REPRO_ENGINE")
+    env_budget = knobs.get("REPRO_MAX_DENSE_MACS")
+    if env_budget is not None:
+        kwargs["max_dense_macs"] = env_budget
+    env_layers = knobs.get("REPRO_MAX_LAYERS")
+    if env_layers is not None:
+        kwargs["max_layers_per_model"] = env_layers
+    env_engine = knobs.get("REPRO_ENGINE")
     if env_engine:
         kwargs["engine"] = env_engine
     kwargs.update(overrides)

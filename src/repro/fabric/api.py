@@ -37,8 +37,8 @@ gates keep that surface closed by default:
 from __future__ import annotations
 
 import hmac
-import os
 
+from repro import knobs
 from repro.fabric import wire as fabric_wire
 from repro.fabric.queue import FabricError, WorkQueue
 from repro.metrics.results import RESULT_SCHEMA_VERSION
@@ -56,7 +56,7 @@ LOOPBACK_HOSTS = frozenset({"127.0.0.1", "localhost", "::1"})
 
 def fabric_token() -> str | None:
     """The shared secret from ``REPRO_FABRIC_TOKEN`` (``None`` when unset)."""
-    return os.environ.get("REPRO_FABRIC_TOKEN") or None
+    return knobs.get("REPRO_FABRIC_TOKEN")
 
 
 def check_token(request: Request) -> None:

@@ -21,10 +21,10 @@ Environment knobs:
 from __future__ import annotations
 
 import asyncio
-import os
 import sys
 import threading
 
+from repro import knobs
 from repro.fabric.executor import RemoteExecutor
 from repro.fabric.queue import WorkQueue
 from repro.runtime.cache import ResultCache
@@ -41,7 +41,7 @@ DEFAULT_FABRIC_PORT = 8735
 def _env_cache() -> ResultCache | None:
     """The coordinator-process cache the listener's ``/v1/cache`` routes
     serve (mirrors the runner's own env-default cache selection)."""
-    if os.environ.get("REPRO_CACHE", "1") == "0":
+    if not knobs.get("REPRO_CACHE"):
         return None
     return ResultCache()
 
@@ -57,13 +57,15 @@ class Coordinator:
         self.queue = queue if queue is not None else WorkQueue()
         self.executor = RemoteExecutor(self.queue)
         self.cache = cache if cache is not None else _env_cache()
-        self._listener: _FabricListener | None = None
+        self._listener: _FabricListener | None = None  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
     def url(self) -> str | None:
         """The standalone listener's URL, if one is running."""
-        listener = self._listener
+        # Lock-free read: a listener is installed at most once and never
+        # replaced, so the worst case is reporting None during startup.
+        listener = self._listener  # repro: allow[lock-discipline]
         return listener.url if listener is not None else None
 
     def ensure_listener(
@@ -77,7 +79,7 @@ class Coordinator:
         """
         from repro.fabric.api import require_loopback_or_token
 
-        bind_host = host or os.environ.get("REPRO_FABRIC_HOST", "127.0.0.1")
+        bind_host = host or knobs.get("REPRO_FABRIC_HOST")
         require_loopback_or_token(bind_host, surface="the fabric listener")
         with self._lock:
             if self._listener is None:
@@ -87,9 +89,7 @@ class Coordinator:
                     port=(
                         port
                         if port is not None
-                        else int(
-                            os.environ.get("REPRO_FABRIC_PORT", DEFAULT_FABRIC_PORT)
-                        )
+                        else knobs.get("REPRO_FABRIC_PORT")
                     ),
                 )
                 listener.start()
@@ -287,6 +287,6 @@ def runtime_executor() -> RemoteExecutor:
     already expose the queue another way, or do not need HTTP at all).
     """
     coordinator = shared_coordinator()
-    if os.environ.get("REPRO_FABRIC_LISTEN", "1") != "0":
+    if knobs.get("REPRO_FABRIC_LISTEN"):
         coordinator.ensure_listener()
     return coordinator.executor

@@ -41,14 +41,14 @@ Environment knobs:
 from __future__ import annotations
 
 import itertools
-import os
-import pickle
 import threading
 import time
 from collections import deque
 from concurrent.futures import Future, InvalidStateError
 
+from repro import knobs
 from repro.fabric import wire
+from repro.fabric.unpickle import UnpickleError, restricted_loads
 from repro.runtime.cache import ResultCache
 from repro.runtime.jobs import SimJob
 
@@ -64,34 +64,12 @@ DEFAULT_MAX_ATTEMPTS = 5
 
 def lease_seconds_from_env() -> float:
     """Lease length the environment asks for (default 30 s)."""
-    raw = os.environ.get("REPRO_LEASE_SECONDS")
-    if not raw:
-        return DEFAULT_LEASE_SECONDS
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_LEASE_SECONDS must be a number, got {raw!r}"
-        ) from None
-    if value <= 0:
-        raise ValueError("REPRO_LEASE_SECONDS must be positive")
-    return value
+    return knobs.get("REPRO_LEASE_SECONDS")
 
 
 def max_attempts_from_env() -> int:
     """Lease budget per item the environment asks for (default 5)."""
-    raw = os.environ.get("REPRO_MAX_ATTEMPTS")
-    if not raw:
-        return DEFAULT_MAX_ATTEMPTS
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_MAX_ATTEMPTS must be an integer, got {raw!r}"
-        ) from None
-    if value < 1:
-        raise ValueError("REPRO_MAX_ATTEMPTS must be at least 1")
-    return value
+    return knobs.get("REPRO_MAX_ATTEMPTS")
 
 
 class FabricError(Exception):
@@ -160,17 +138,17 @@ class WorkQueue:
             max_attempts if max_attempts is not None else max_attempts_from_env()
         )
         self._lock = threading.Lock()
-        self._pending: deque[WorkItem] = deque()
-        self._items: dict[str, WorkItem] = {}
+        self._pending: deque[WorkItem] = deque()  # guarded-by: _lock
+        self._items: dict[str, WorkItem] = {}  # guarded-by: _lock
         self._ids = itertools.count(1)
         #: Per-directory caches the extras of completed items deposit into,
         #: shared so their in-memory level stays warm across completions.
-        self._extras_caches: dict[str, ResultCache] = {}
+        self._extras_caches: dict[str, ResultCache] = {}  # guarded-by: _lock
         # Telemetry (guarded by the lock).
-        self.requeued_leases = 0
-        self.rejected_uploads = 0
-        self.completed_items = 0
-        self.failed_items = 0
+        self.requeued_leases = 0  # guarded-by: _lock
+        self.rejected_uploads = 0  # guarded-by: _lock
+        self.completed_items = 0  # guarded-by: _lock
+        self.failed_items = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Runner side
@@ -272,8 +250,8 @@ class WorkQueue:
             for blob_record in record.get("outcomes", ()):
                 blob = wire.decode_blob(blob_record)
                 try:
-                    outcomes.append(pickle.loads(blob))
-                except Exception as err:
+                    outcomes.append(restricted_loads(blob))
+                except UnpickleError as err:
                     raise wire.IntegrityError(
                         f"outcome does not unpickle: {err}"
                     ) from None
@@ -284,8 +262,8 @@ class WorkQueue:
                     raise wire.IntegrityError("extra entry carries no valid key")
                 blob = wire.decode_blob(extra)
                 try:
-                    pickle.loads(blob)
-                except Exception as err:
+                    restricted_loads(blob)
+                except UnpickleError as err:
                     raise wire.IntegrityError(
                         f"extra entry does not unpickle: {err}"
                     ) from None

@@ -18,12 +18,12 @@ the same environment variable makes every request carry it.
 from __future__ import annotations
 
 import json
-import pickle
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
 
 from repro.fabric import wire
+from repro.fabric.unpickle import UnpickleError, restricted_loads
 from repro.runtime.cache import ResultCache
 from repro.serve.wire import CONTENT_DIGEST_HEADER
 
@@ -81,8 +81,8 @@ def pull_cache(
             skipped += 1
             continue
         try:
-            pickle.loads(blob)
-        except Exception:
+            restricted_loads(blob)
+        except UnpickleError:
             skipped += 1  # does not decode; a stored copy could never hit
             continue
         cache.put_blob(key, blob)

@@ -1,0 +1,76 @@
+"""The fabric's restricted unpickler: deserialize data, never code.
+
+Digest verification (:mod:`repro.fabric.wire`) proves a payload arrived
+intact; it says nothing about what the payload *does* when unpickled.  A
+raw ``pickle.loads`` resolves arbitrary globals, so anyone holding a valid
+``REPRO_FABRIC_TOKEN`` — or sitting on the loopback — could upload a blob
+whose reduce hook runs ``os.system``.  Every unpickle of
+network-originated bytes therefore goes through :func:`restricted_loads`,
+whose ``find_class`` resolves only:
+
+* classes defined in this package (``repro.*`` — job descriptions, result
+  records, sparse formats, layer specs, ...),
+* the numpy array-reconstruction machinery (result records carry arrays),
+* a small set of harmless builtin container types.
+
+Anything else — ``os.system``, ``builtins.eval``, ``subprocess.*`` — fails
+with :class:`UnpickleError` before any of its code can run.  The
+``pickle-boundary`` rule of ``python -m repro.analyze`` pins this module
+(plus the purely process-local :mod:`repro.runtime.cache`) as the only
+place ``pickle.loads`` may appear.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+
+#: Builtins a result payload may legitimately reference.  Note: no
+#: functions, no ``getattr``/``eval``/``exec`` — types only.
+_SAFE_BUILTINS = frozenset(
+    {"set", "frozenset", "complex", "bytearray", "range", "slice"}
+)
+
+#: Numpy globals the array pickle protocol resolves.  Array payloads reduce
+#: to ``_reconstruct``/``ndarray``/``dtype`` (+ ``scalar`` for 0-d values);
+#: the multiarray module moved between numpy 1.x and 2.x, so both homes are
+#: listed.
+_SAFE_NUMPY = {
+    "numpy": frozenset({"ndarray", "dtype", "int64", "float64", "bool_"}),
+    "numpy.core.multiarray": frozenset({"_reconstruct", "scalar"}),
+    "numpy._core.multiarray": frozenset({"_reconstruct", "scalar"}),
+}
+
+
+class UnpickleError(ValueError):
+    """A payload that does not unpickle under the fabric allowlist —
+    malformed bytes, or a reference to a global the boundary refuses to
+    resolve.  Callers treat it exactly like a failed digest check."""
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):
+        if module == "repro" or module.startswith("repro."):
+            return super().find_class(module, name)
+        if name in _SAFE_NUMPY.get(module, ()):
+            return super().find_class(module, name)
+        if module == "builtins" and name in _SAFE_BUILTINS:
+            return super().find_class(module, name)
+        raise UnpickleError(
+            f"fabric payload references disallowed global {module}.{name}"
+        )
+
+
+def restricted_loads(blob: bytes) -> object:
+    """Unpickle network-originated bytes under the fabric allowlist.
+
+    Raises :class:`UnpickleError` for anything that is not a well-formed
+    pickle of allowlisted types — including truncated data and protocol
+    errors, so callers need exactly one except clause at the boundary.
+    """
+    try:
+        return _RestrictedUnpickler(io.BytesIO(blob)).load()
+    except UnpickleError:
+        raise
+    except Exception as error:
+        raise UnpickleError(f"payload does not unpickle: {error}") from None

@@ -17,6 +17,7 @@ import hashlib
 import json
 import pickle
 
+from repro.fabric.unpickle import UnpickleError, restricted_loads
 from repro.runtime.jobs import SimJob
 
 #: Hex alphabet of cache keys / digests — also the path-safety gate for the
@@ -72,11 +73,16 @@ def encode_jobs(jobs: list[SimJob]) -> dict:
 
 
 def decode_jobs(record: dict) -> list[SimJob]:
-    """The jobs of a claimed chunk, digest-verified and unpickled."""
+    """The jobs of a claimed chunk, digest-verified and unpickled.
+
+    Unpickling goes through the restricted fabric unpickler — a claim
+    response comes off the network, so it gets data-not-code treatment just
+    like an upload (a hostile coordinator must not own its workers).
+    """
     blob = decode_blob(record)
     try:
-        jobs = pickle.loads(blob)
-    except Exception as error:
+        jobs = restricted_loads(blob)
+    except UnpickleError as error:
         raise IntegrityError(f"job payload does not unpickle: {error}") from None
     if not isinstance(jobs, list) or not all(isinstance(j, SimJob) for j in jobs):
         raise IntegrityError("job payload is not a list of SimJobs")

@@ -38,6 +38,7 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 
+from repro import knobs
 from repro.fabric import wire
 from repro.fabric.queue import FabricError, WorkQueue
 from repro.runtime.cache import ResultCache, default_cache_dir
@@ -169,8 +170,10 @@ class HttpClient:
             try:
                 payload = json.loads(error.read().decode("utf-8"))
                 detail = payload.get("error", "")
-            except Exception:
-                pass
+            except (OSError, ValueError, AttributeError):
+                # The error body is advisory only; a coordinator answering
+                # with a non-JSON page still maps to the status-code message.
+                detail = ""
             raise FabricError(
                 error.code, detail or f"coordinator answered {error.code}"
             ) from None
@@ -219,7 +222,7 @@ class Worker:
         self.worker_id = worker_id or (
             f"{socket.gethostname()}-{os.getpid()}-{id(self) & 0xFFFF:04x}"
         )
-        if cache_dir is None and os.environ.get("REPRO_CACHE", "1") == "0":
+        if cache_dir is None and not knobs.get("REPRO_CACHE"):
             self.cache_dir = None
         else:
             self.cache_dir = (
@@ -289,7 +292,7 @@ class Worker:
             while not heartbeat_stop.wait(interval):
                 try:
                     self.client.heartbeat(self.worker_id, [item["item_id"]])
-                except Exception:
+                except (FabricError, urllib.error.URLError, OSError):
                     return  # coordinator gone; the run loop will notice
 
         beater = threading.Thread(
@@ -379,7 +382,7 @@ def run_worker(
 ) -> int:
     """Blocking entry point behind ``python -m repro worker``."""
     chaos = parse_chaos(
-        chaos_text if chaos_text is not None else os.environ.get("REPRO_CHAOS")
+        chaos_text if chaos_text is not None else knobs.get("REPRO_CHAOS")
     )
     worker = Worker(
         url,

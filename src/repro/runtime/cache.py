@@ -40,6 +40,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import knobs
+
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 MISS = object()
 
@@ -51,7 +53,7 @@ MEMORY_ENTRY_LIMIT = 4096
 
 def default_cache_dir() -> Path:
     """The cache directory the environment asks for."""
-    return Path(os.environ.get("REPRO_CACHE_DIR") or ".repro_cache")
+    return Path(knobs.get("REPRO_CACHE_DIR"))
 
 
 @dataclass(frozen=True)
@@ -76,7 +78,7 @@ class ResultCache:
 
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
-        self._memory: OrderedDict[str, bytes] = OrderedDict()
+        self._memory: OrderedDict[str, bytes] = OrderedDict()  # guarded-by: _memory_lock
         # One cache instance is shared by concurrent BatchRunner.run() calls
         # (the serving front-end's background jobs); the recency reordering
         # and bound eviction must not race each other's lookups.
@@ -233,9 +235,10 @@ class ResultCache:
     def _decode(self, key: str, blob: bytes):
         try:
             return pickle.loads(blob)
-        except Exception:
+        except Exception:  # repro: allow[bare-except]
             # A torn or stale entry (e.g. written by an incompatible version)
-            # is indistinguishable from a miss; drop it so it gets rebuilt.
+            # is indistinguishable from a miss — whatever pickle raised for
+            # it, the answer is the same: drop the entry so it gets rebuilt.
             with self._memory_lock:
                 self._memory.pop(key, None)
             self.path_for(key).unlink(missing_ok=True)

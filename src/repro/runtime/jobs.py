@@ -28,6 +28,7 @@ import weakref
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
+from repro import knobs
 from repro.arch.config import AcceleratorConfig
 from repro.dataflows.base import Dataflow
 from repro.engine_vec import validate_engine_backend
@@ -64,7 +65,7 @@ def _env_share_engine() -> bool:
     simulates its engine run directly, even when the identical run is already
     cached as an oracle trial) — used for A/B benchmarking.
     """
-    return os.environ.get("REPRO_SHARE_ENGINE", "1") != "0"
+    return knobs.get("REPRO_SHARE_ENGINE")
 
 
 #: Per-process memo of nested runners keyed by cache directory: every job a
@@ -323,7 +324,9 @@ _MATRIX_DIGESTS: dict[int, tuple["weakref.ref[CompressedMatrix]", str]] = {}
 
 def _matrix_digest(matrix: CompressedMatrix) -> str:
     """Content hash of a compressed matrix (layout, shape and stored arrays)."""
-    entry = _MATRIX_DIGESTS.get(id(matrix))
+    # ``id`` here is only a *memo* key for the content hash below — it never
+    # reaches the digest, so the returned key stays process-independent.
+    entry = _MATRIX_DIGESTS.get(id(matrix))  # repro: allow[determinism]
     if entry is not None and entry[0]() is matrix:
         return entry[1]
     digest = hashlib.sha256()
@@ -333,7 +336,7 @@ def _matrix_digest(matrix: CompressedMatrix) -> str:
     digest.update(matrix.indices.tobytes())
     digest.update(matrix.values.tobytes())
     value = digest.hexdigest()
-    key = id(matrix)
+    key = id(matrix)  # repro: allow[determinism]
     _MATRIX_DIGESTS[key] = (
         weakref.ref(matrix, lambda _ref: _MATRIX_DIGESTS.pop(key, None)),
         value,

@@ -25,23 +25,20 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
-import os
 import threading
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor
 
-#: Valid values of the ``REPRO_POOL`` environment knob.
-POOL_MODES = ("persistent", "ephemeral", "remote")
+from repro import knobs
+
+#: Valid values of the ``REPRO_POOL`` environment knob (canonical home:
+#: :mod:`repro.knobs`; re-exported here for existing importers).
+POOL_MODES = knobs.POOL_MODES
 
 
 def pool_mode_from_env() -> str:
     """The pool mode the environment asks for (default: ``persistent``)."""
-    mode = os.environ.get("REPRO_POOL", "persistent")
-    if mode not in POOL_MODES:
-        raise ValueError(
-            f"REPRO_POOL must be one of {POOL_MODES}, got {mode!r}"
-        )
-    return mode
+    return knobs.get("REPRO_POOL")
 
 
 def pool_context():
@@ -70,9 +67,9 @@ class WorkerPool:
     """
 
     def __init__(self) -> None:
-        self._executor: ProcessPoolExecutor | None = None
-        self._width = 0
-        self._retired: list[ProcessPoolExecutor] = []
+        self._executor: ProcessPoolExecutor | None = None  # guarded-by: _lock
+        self._width = 0  # guarded-by: _lock
+        self._retired: list[ProcessPoolExecutor] = []  # guarded-by: _lock
         self._lock = threading.Lock()
         _LIVE_POOLS.add(self)
 

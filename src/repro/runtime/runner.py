@@ -67,6 +67,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import knobs
 from repro.runtime.cache import ResultCache
 from repro.runtime.cost import estimate_job_cost, job_group_key
 from repro.runtime.jobs import SimJob, execute_chunk, execute_job
@@ -79,8 +80,9 @@ from repro.runtime.pool import (
 #: Default sentinel so ``cache=None`` can explicitly mean "no cache".
 _DEFAULT = object()
 
-#: Valid values of the ``REPRO_SCHED`` environment knob.
-SCHEDULE_MODES = ("cost", "fifo")
+#: Valid values of the ``REPRO_SCHED`` environment knob (canonical home:
+#: :mod:`repro.knobs`; re-exported here for existing importers).
+SCHEDULE_MODES = knobs.SCHEDULE_MODES
 
 #: Progress callback signature: ``on_result(done_jobs, total_jobs)``.
 ProgressCallback = Callable[[int, int], None]
@@ -98,34 +100,24 @@ _SUBMIT_THREADS = 4
 
 
 def _env_parallel() -> bool:
-    return os.environ.get("REPRO_PARALLEL", "1") != "0"
+    return knobs.get("REPRO_PARALLEL")
 
 
 def _env_workers() -> int:
-    value = os.environ.get("REPRO_WORKERS")
-    if value:
-        try:
-            return max(1, int(value))
-        except ValueError:
-            raise ValueError(
-                f"REPRO_WORKERS must be an integer, got {value!r}"
-            ) from None
+    width = knobs.get("REPRO_WORKERS")
+    if width is not None:
+        return width
     # Use every core the machine has.  (Earlier versions silently capped
     # this at 8; set REPRO_WORKERS explicitly to bound the width instead.)
     return max(1, os.cpu_count() or 1)
 
 
 def _env_schedule() -> str:
-    mode = os.environ.get("REPRO_SCHED", "cost")
-    if mode not in SCHEDULE_MODES:
-        raise ValueError(
-            f"REPRO_SCHED must be one of {SCHEDULE_MODES}, got {mode!r}"
-        )
-    return mode
+    return knobs.get("REPRO_SCHED")
 
 
 def _env_cache() -> ResultCache | None:
-    if os.environ.get("REPRO_CACHE", "1") == "0":
+    if not knobs.get("REPRO_CACHE"):
         return None
     return ResultCache()
 
@@ -187,13 +179,13 @@ class BatchRunner:
             )
         #: Default progress callback applied to every :meth:`run` call.
         self.on_result = on_result
-        self.stats = RunnerStats()
+        self.stats = RunnerStats()  # guarded-by: _stats_lock
         #: Guards the counters: :meth:`run` may be entered from several
         #: threads at once (the serving front-end's background jobs), and
         #: ``+=`` on a dataclass attribute is not atomic.
         self._stats_lock = threading.Lock()
         #: Lazily created thread pool behind :meth:`submit`.
-        self._submit_pool: ThreadPoolExecutor | None = None
+        self._submit_pool: ThreadPoolExecutor | None = None  # guarded-by: _submit_lock
         self._submit_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -285,7 +277,9 @@ class BatchRunner:
         bounds each batch's in-flight window — though they share the pool's
         workers.
         """
-        pool = self._submit_pool
+        # Double-checked fast path: reading the installed pool without the
+        # lock is safe (it is written once, under the lock, and never reset).
+        pool = self._submit_pool  # repro: allow[lock-discipline]
         if pool is None:
             with self._submit_lock:
                 pool = self._submit_pool

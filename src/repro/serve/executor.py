@@ -58,10 +58,10 @@ class ServeJob:
         #: The :class:`FigureQuery` / :class:`SweepSpec` being answered.
         self.request = request
         self._lock = threading.Lock()
-        self._status = PENDING
-        self._done = 0
-        self._total = total
-        self._error: str | None = None
+        self._status = PENDING  # guarded-by: _lock
+        self._done = 0  # guarded-by: _lock
+        self._total = total  # guarded-by: _lock
+        self._error: str | None = None  # guarded-by: _lock
         #: Finished response body (the same bytes the warm path serves).
         self.body: bytes | None = None
         self.etag: str | None = None
@@ -149,7 +149,7 @@ class JobManager:
 
     def __init__(self, session: Session) -> None:
         self.session = session
-        self._jobs: dict[str, ServeJob] = {}
+        self._jobs: dict[str, ServeJob] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=MAX_CONCURRENT_JOBS, thread_name_prefix="repro-serve-job"
@@ -200,10 +200,11 @@ class JobManager:
                 return job, False
             job = ServeJob(key, kind, request, total)
             self._jobs[key] = job
-            self._evict_finished()
+            self._evict_finished_locked()
             return job, True
 
-    def _evict_finished(self) -> None:
+    def _evict_finished_locked(self) -> None:
+        """Drop the oldest finished jobs past the keep bound (lock held)."""
         finished = [k for k, job in self._jobs.items() if job.finished.is_set()]
         for key in finished[: max(0, len(finished) - FINISHED_JOBS_KEPT)]:
             del self._jobs[key]

@@ -1,0 +1,16 @@
+"""Golden corpus: violations silenced by ``# repro: allow[rule]``."""
+
+import pickle
+
+
+def thaw_with_excuse(blob: bytes):
+    # Suppressed on the line itself.
+    return pickle.loads(blob)  # repro: allow[pickle-boundary]
+
+
+def swallow_with_excuse() -> int:
+    try:
+        return 1
+    # repro: allow[bare-except] -- suppressed from the comment line above
+    except Exception:
+        return 0

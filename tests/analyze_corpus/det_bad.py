@@ -1,0 +1,10 @@
+"""Golden corpus: determinism violations on a cache-key path."""
+
+import time
+
+
+class Spec:
+    def key(self) -> str:
+        stamp = time.time()  # line 8: banned clock on a key path
+        parts = [item for item in {1, 2, 3}]  # line 9: set iteration
+        return f"{stamp}-{parts}"

@@ -1,0 +1,22 @@
+"""Golden corpus: bare-except violations."""
+
+
+def swallow() -> int:
+    try:
+        return 1
+    except:  # line 7: literal bare except
+        return 0
+
+
+def swallow_broad() -> int:
+    try:
+        return 1
+    except Exception:  # line 14: broad, silent, unexcused
+        return 0
+
+
+def rewrap() -> int:
+    try:
+        return 1
+    except Exception as error:  # fine: binds and uses
+        raise RuntimeError(f"wrapped: {error}") from None

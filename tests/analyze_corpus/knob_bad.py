@@ -1,0 +1,15 @@
+"""Golden corpus: env-knob registry bypass."""
+
+import os
+
+
+def read_knob() -> str | None:
+    return os.environ.get("REPRO_SOMETHING")  # line 7: direct REPRO_* read
+
+
+def read_knob_subscript() -> str:
+    return os.environ["REPRO_OTHER"]  # line 11: subscript read
+
+
+def write_knob() -> None:
+    os.environ["REPRO_OTHER"] = "1"  # writes stay legal

@@ -1,0 +1,20 @@
+"""Golden corpus: lock-discipline violation."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.total = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def bump(self) -> None:
+        self.total += 1  # line 12: guarded attribute touched without the lock
+
+    def bump_safely(self) -> None:
+        with self._lock:
+            self.total += 1
+
+    def _drain_locked(self) -> int:
+        value, self.total = self.total, 0  # exempt: _locked-suffixed helper
+        return value

@@ -1,0 +1,7 @@
+"""Golden corpus: pickle boundary violation."""
+
+import pickle
+
+
+def thaw(blob: bytes):
+    return pickle.loads(blob)  # line 7: raw loads outside the allowlist

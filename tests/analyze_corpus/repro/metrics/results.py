@@ -1,0 +1,17 @@
+"""Golden corpus: wire dataclass drift without a schema-version bump.
+
+The committed ``analyze/schema_lock.json`` next to this corpus records a
+different field digest under the *same* version number, which is exactly
+the drift the wire-hygiene checker exists to catch.
+"""
+
+from dataclasses import dataclass
+
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    cycles: int
+    traffic_bytes: int
+    sneaky_new_field: int

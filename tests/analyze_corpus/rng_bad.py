@@ -1,0 +1,11 @@
+"""Golden corpus: numpy global-RNG use (banned repo-wide)."""
+
+import numpy as np
+
+
+def make_noise(n: int):
+    return np.random.rand(n)  # line 7: hidden global RNG
+
+
+def make_generator():
+    return np.random.default_rng()  # line 11: entropy-seeded generator

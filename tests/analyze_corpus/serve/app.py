@@ -1,0 +1,13 @@
+"""Golden corpus: a mounted route missing from the route table.
+
+Routes::
+
+    GET /v1/documented    the only route this docstring admits to
+"""
+
+
+def routes() -> dict:
+    return {
+        "/v1/documented": "ok",
+        "/v1/undocumented": "oops",  # line 12: absent from the docstring
+    }

@@ -11,6 +11,11 @@ Pre-warms a fresh result cache with the fig12 grid, starts the
   (the path that touches neither the cache nor the simulator).
 * **concurrent throughput** — requests/second with several keep-alive
   client threads hammering the warm figure endpoint at once.
+* **saturation behaviour** — with the job pool clamped to a small depth
+  ``K``, fire ``4×K`` concurrent *distinct* cold sweeps and keep retrying
+  per the ``Retry-After`` answers until all converge: p50/p99 admission
+  latency (time to *any* decision — 202, 429 or 503, never a hang), the
+  shed/admit split, and the wall-clock to full convergence.
 
 The regression gate is the **overhead ratio** — warm HTTP latency over warm
 in-process latency, i.e. how much the serving stack multiplies a warm
@@ -145,6 +150,115 @@ def measure(budget: float, max_layers: int, iterations: int, clients: int) -> di
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def measure_saturation(depth: int) -> dict:
+    """Shed-not-deadlock under 4×depth concurrent distinct cold sweeps.
+
+    Runs its own tiny server (5e4-MAC budget, one layer per model) with
+    ``REPRO_JOB_POOL_DEPTH`` clamped to ``depth``, so every admission
+    decision — accept, rate-shed, pool-shed — is exercised for real.
+    Every HTTP exchange (first wave and Retry-After retries alike) is a
+    latency sample: the gate of interest is that refusals are *fast*.
+    """
+    import concurrent.futures
+
+    from repro.serve.quota import AdmissionControl  # noqa: F401  (knob owner)
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-serve-saturation-")
+    quota_dir = tempfile.mkdtemp(prefix="bench-serve-quota-")
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_JOB_POOL_DEPTH", "REPRO_QUOTA_DIR")
+    }
+    os.environ["REPRO_JOB_POOL_DEPTH"] = str(depth)
+    os.environ["REPRO_QUOTA_DIR"] = quota_dir
+    try:
+        settings = default_settings(max_dense_macs=5e4, max_layers_per_model=1)
+        session = Session(
+            settings,
+            runner=BatchRunner(parallel=False, cache=ResultCache(cache_dir)),
+        )
+        specs = [
+            {"layers": [layer], "designs": [design], "scale": 0.05}
+            for layer in ("A2", "R6")
+            for design in ("SIGMA-like", "SpArch-like", "GAMMA-like", "CPU-MKL")
+        ][: 4 * depth]
+        latencies: list[float] = []
+        statuses: dict[int, int] = {}
+        lock = threading.Lock()
+
+        def exchange(conn, method, path, body=None, headers=None):
+            start = time.perf_counter()
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+                statuses[response.status] = statuses.get(response.status, 0) + 1
+            return response.status, dict(response.getheaders()), payload
+
+        def drive(spec) -> None:
+            body = json.dumps(spec).encode()
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=120)
+            try:
+                deadline = time.monotonic() + 300.0
+                while True:
+                    status, headers, payload = exchange(
+                        conn, "POST", "/v1/sweep", body
+                    )
+                    if status == 200:
+                        return
+                    if status == 202:
+                        url = json.loads(payload)["url"]
+                        while True:
+                            status, _h, _b = exchange(conn, "GET", url)
+                            if status != 202:
+                                assert status == 200, status
+                                return
+                            time.sleep(0.02)
+                    assert status in (429, 503), f"unexpected status {status}"
+                    assert float(headers["Retry-After"]) >= 1
+                    assert time.monotonic() < deadline, "saturated sweep never admitted"
+                    time.sleep(min(1.0, float(headers["Retry-After"])))
+            finally:
+                conn.close()
+
+        with BackgroundServer(session) as server:
+            start = time.perf_counter()
+            with concurrent.futures.ThreadPoolExecutor(len(specs)) as pool:
+                for outcome in pool.map(drive, specs):
+                    pass  # re-raise per-spec assertion failures, if any
+            converged = time.perf_counter() - start
+
+        return {
+            "saturation_pool_depth": depth,
+            "saturation_cold_requests": len(specs),
+            "saturation_admission_p50_ms": round(
+                _percentile(latencies, 0.50) * 1e3, 3
+            ),
+            "saturation_admission_p99_ms": round(
+                _percentile(latencies, 0.99) * 1e3, 3
+            ),
+            "saturation_shed_503": statuses.get(503, 0),
+            "saturation_accepted_202": statuses.get(202, 0),
+            "saturation_converge_seconds": round(converged, 3),
+        }
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(quota_dir, ignore_errors=True)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -166,6 +280,11 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=2,
         help="full measurement repeats; the best (lowest-overhead) run is "
         "recorded so one noisy sample cannot fail the regression check",
+    )
+    parser.add_argument(
+        "--pool-depth", type=int, default=2,
+        help="job-pool depth K for the saturation phase (4×K concurrent "
+        "cold sweeps); 0 skips the phase",
     )
     parser.add_argument(
         "-o", "--output", default=None,
@@ -198,11 +317,19 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": args.repeats,
         **best,
     }
-    for key in (
+    if args.pool_depth > 0:
+        record.update(measure_saturation(args.pool_depth))
+    printed = [
         "warm_inproc_ms", "warm_http_ms", "revalidate_304_ms",
         "overhead_ratio", "throughput_rps",
-    ):
-        print(f"{key:18s} {record[key]}", file=sys.stderr)
+    ]
+    if args.pool_depth > 0:
+        printed += [
+            "saturation_admission_p50_ms", "saturation_admission_p99_ms",
+            "saturation_shed_503", "saturation_converge_seconds",
+        ]
+    for key in printed:
+        print(f"{key:28s} {record[key]}", file=sys.stderr)
 
     Path(output).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}", file=sys.stderr)

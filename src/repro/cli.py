@@ -263,6 +263,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "pull":
         from repro.fabric import pull_cache
 
+        if args.interval is not None:
+            from repro.fabric import pull_loop
+
+            log = lambda message: print(  # noqa: E731 - one-line stderr logger
+                f"[repro.cache] {message}", file=sys.stderr, flush=True
+            )
+            print(
+                f"[repro.cache] following {args.url} every ~{args.interval:g}s "
+                f"(jittered; Ctrl-C to stop)",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                rounds = pull_loop(
+                    cache, args.url, args.interval, rounds=args.rounds, log=log
+                )
+            except KeyboardInterrupt:
+                print("[repro.cache] pull loop stopped", file=sys.stderr)
+                return 0
+            print(f"[repro.cache] pull loop finished after {rounds} rounds",
+                  file=sys.stderr, flush=True)
+            return 0
         report = pull_cache(cache, args.url)
         print(
             f"pulled {report.fetched} entries from {args.url} into "
@@ -431,6 +453,15 @@ def build_parser() -> argparse.ArgumentParser:
     pull.add_argument(
         "url", metavar="URL",
         help="peer base URL, e.g. http://127.0.0.1:8734",
+    )
+    pull.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="follower mode: keep pulling, sleeping a jittered SECONDS "
+        "between rounds, until interrupted",
+    )
+    pull.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="with --interval, stop after N pull rounds (default: forever)",
     )
     cache.set_defaults(func=_cmd_cache)
 

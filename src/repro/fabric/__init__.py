@@ -30,7 +30,7 @@ from repro.fabric.worker import (
     parse_chaos,
     run_worker,
 )
-from repro.fabric.sync import PullReport, pull_cache
+from repro.fabric.sync import PullReport, pull_cache, pull_loop
 from repro.fabric.coordinator import (
     Coordinator,
     reset_shared_fabric,
@@ -59,6 +59,7 @@ __all__ = [
     "max_attempts_from_env",
     "parse_chaos",
     "pull_cache",
+    "pull_loop",
     "reset_shared_fabric",
     "run_worker",
     "runtime_executor",

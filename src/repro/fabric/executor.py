@@ -14,6 +14,11 @@ the submission becomes a keyed work item on the
 coordinator, so uploads can be verified against them) and the returned
 future resolves to the same ``(outcomes, error)`` pair a local pool worker
 would have produced.
+
+There is deliberately no retry or timeout logic here: give-up behaviour
+belongs to the queue's :class:`~repro.resilience.LeasePolicy` (an item
+that burns its lease budget resolves its future with the give-up error),
+and the runner blocks on futures exactly as it does on a local pool.
 """
 
 from __future__ import annotations

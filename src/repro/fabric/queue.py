@@ -36,6 +36,11 @@ Environment knobs:
 * ``REPRO_LEASE_SECONDS`` — lease length granted per claim (default 30).
 * ``REPRO_MAX_ATTEMPTS`` — leases an item may burn before the queue gives
   up and fails the batch (default 5).
+
+Both limits live in a :class:`repro.resilience.LeasePolicy`: each item's
+lease expiry is a :class:`~repro.resilience.Deadline` and its attempt
+budget a :class:`~repro.resilience.RetryBudget`, the same vocabulary every
+other wait/retry limit in the repository is expressed in.
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ import time
 from collections import deque
 from concurrent.futures import Future, InvalidStateError
 
-from repro import knobs
+from repro import knobs, resilience
 from repro.fabric import wire
 from repro.fabric.unpickle import UnpickleError, restricted_loads
 from repro.runtime.cache import ResultCache
@@ -99,7 +104,7 @@ class WorkItem:
         "state",
         "worker",
         "deadline",
-        "attempts",
+        "budget",
         "future",
     )
 
@@ -108,6 +113,7 @@ class WorkItem:
         item_id: str,
         chunk: list[tuple[str, SimJob]],
         extras_dir: str | None,
+        budget: resilience.RetryBudget,
     ) -> None:
         self.item_id = item_id
         self.chunk = list(chunk)
@@ -118,9 +124,16 @@ class WorkItem:
         self.extras_dir = extras_dir
         self.state = PENDING
         self.worker: str | None = None
-        self.deadline: float | None = None
-        self.attempts = 0
+        #: Lease expiry while LEASED; ``None`` otherwise.
+        self.deadline: resilience.Deadline | None = None
+        #: Lease budget; one grant is spent per claim.
+        self.budget = budget
         self.future: Future = Future()
+
+    @property
+    def attempts(self) -> int:
+        """Leases granted on this item so far (the budget's spend count)."""
+        return self.budget.spent
 
 
 class WorkQueue:
@@ -131,11 +144,13 @@ class WorkQueue:
         lease_seconds: float | None = None,
         max_attempts: int | None = None,
     ) -> None:
-        self.lease_seconds = (
-            lease_seconds if lease_seconds is not None else lease_seconds_from_env()
-        )
-        self.max_attempts = (
-            max_attempts if max_attempts is not None else max_attempts_from_env()
+        self.policy = resilience.LeasePolicy(
+            lease_seconds=(
+                lease_seconds if lease_seconds is not None else lease_seconds_from_env()
+            ),
+            max_attempts=(
+                max_attempts if max_attempts is not None else max_attempts_from_env()
+            ),
         )
         self._lock = threading.Lock()
         self._pending: deque[WorkItem] = deque()  # guarded-by: _lock
@@ -149,6 +164,14 @@ class WorkQueue:
         self.rejected_uploads = 0  # guarded-by: _lock
         self.completed_items = 0  # guarded-by: _lock
         self.failed_items = 0  # guarded-by: _lock
+
+    @property
+    def lease_seconds(self) -> float:
+        return self.policy.lease_seconds
+
+    @property
+    def max_attempts(self) -> int:
+        return self.policy.max_attempts
 
     # ------------------------------------------------------------------
     # Runner side
@@ -166,7 +189,9 @@ class WorkQueue:
         # stall concurrent claim/heartbeat/complete calls — delaying exactly
         # the lease extensions a long batch depends on.  (``itertools.count``
         # is safe to advance concurrently.)
-        item = WorkItem(f"w{next(self._ids):08d}", chunk, extras_dir)
+        item = WorkItem(
+            f"w{next(self._ids):08d}", chunk, extras_dir, self.policy.lease_budget()
+        )
         with self._lock:
             self._items[item.item_id] = item
             self._pending.append(item)
@@ -197,8 +222,8 @@ class WorkQueue:
                     continue
                 item.state = LEASED
                 item.worker = worker
-                item.attempts += 1
-                item.deadline = now + self.lease_seconds
+                item.budget.grant()
+                item.deadline = self.policy.lease_deadline(now=now)
                 granted.append(item)
             outstanding = self._outstanding_locked()
         return [self._item_record(item) for item in granted], outstanding
@@ -218,7 +243,7 @@ class WorkQueue:
             for item_id in item_ids:
                 item = self._items.get(item_id)
                 if item is not None and item.state == LEASED and item.worker == worker:
-                    item.deadline = now + self.lease_seconds
+                    item.deadline = self.policy.lease_deadline(now=now)
                     extended.append(item_id)
                 else:
                     lost.append(item_id)
@@ -368,7 +393,7 @@ class WorkQueue:
             for item in self._items.values()
             if item.state == LEASED
             and item.deadline is not None
-            and item.deadline < now
+            and item.deadline.expired(now=now)
         ]
         for item in expired:
             self.requeued_leases += 1
@@ -380,7 +405,7 @@ class WorkQueue:
         error, so the waiting runner raises instead of hanging forever)."""
         item.worker = None
         item.deadline = None
-        if item.attempts >= self.max_attempts:
+        if item.budget.exhausted:
             item.state = FAILED
             self.failed_items += 1
             self._resolve(

@@ -23,6 +23,12 @@ Fault injection (the chaos test harness, ``REPRO_CHAOS``):
 * ``die_after:N`` — complete N items, then vanish while holding a lease;
 * ``stall``      — claim an item, then hang without heartbeating;
 * ``corrupt``    — flip a byte in each upload's payload (digest mismatch).
+
+Every wait in this module goes through :mod:`repro.resilience`: idle polls
+are jittered so a fleet never thunders in lockstep, transient claim/upload
+failures back off exponentially, and a coordinator that stays unreachable
+trips a circuit breaker — the worker then sleeps through the breaker's
+cooldown instead of hammering a dead endpoint.
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 
-from repro import knobs
+from repro import knobs, resilience
 from repro.fabric import wire
 from repro.fabric.queue import FabricError, WorkQueue
 from repro.runtime.cache import ResultCache, default_cache_dir
@@ -82,6 +88,12 @@ class WorkerReport:
     completed: int = 0
     rejected: int = 0
     errors: int = 0
+    #: Claim calls that failed (coordinator refused or unreachable).
+    claim_failures: int = 0
+    #: CLOSED -> OPEN transitions of the coordinator circuit breaker.
+    breaker_opens: int = 0
+    #: Leases the coordinator reported lost while this worker held them.
+    leases_lost: int = 0
     died: bool = False
     stalled: bool = False
     rejected_messages: list[str] = field(default_factory=list)
@@ -144,9 +156,9 @@ class HttpClient:
     variable configures both sides of the connection.
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, timeout: float | None = None) -> None:
         self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
+        self.timeout = timeout if timeout is not None else resilience.http_timeout()
 
     def _post(self, route: str, record: dict) -> dict:
         from repro.fabric.api import TOKEN_HEADER, fabric_token
@@ -197,15 +209,23 @@ class HttpClient:
 class Worker:
     """One claim/execute/upload loop over a queue client.
 
-    ``target`` is a coordinator URL (HTTP client) or a live
-    :class:`WorkQueue` (in-process client, the test harness).  ``stop`` is
+    ``target`` is a coordinator URL (HTTP client), a live
+    :class:`WorkQueue` (in-process client, the test harness), or any
+    object already speaking the client protocol (``claim``/``heartbeat``/
+    ``complete`` — the chaos harness wraps clients this way).  ``stop`` is
     an optional external kill switch; :meth:`run` also exits when chaos
     says the worker "dies".
+
+    ``breaker`` guards the coordinator connection: repeated *transport*
+    failures (unreachable, reset) open it, and an open breaker replaces
+    claim attempts with a quiet cooldown sleep.  Protocol-level refusals
+    (:class:`FabricError` — the coordinator answered, just not yes) never
+    trip it.
     """
 
     def __init__(
         self,
-        target: str | WorkQueue,
+        target,
         *,
         worker_id: str | None = None,
         cache_dir: str | os.PathLike | None = None,
@@ -213,12 +233,15 @@ class Worker:
         max_items: int = 1,
         chaos: Chaos | None = None,
         stop: threading.Event | None = None,
+        breaker: resilience.CircuitBreaker | None = None,
         log=None,
     ) -> None:
         if isinstance(target, WorkQueue):
-            self.client: DirectClient | HttpClient = DirectClient(target)
-        else:
+            self.client = DirectClient(target)
+        elif isinstance(target, str):
             self.client = HttpClient(target)
+        else:
+            self.client = target
         self.worker_id = worker_id or (
             f"{socket.gethostname()}-{os.getpid()}-{id(self) & 0xFFFF:04x}"
         )
@@ -232,6 +255,13 @@ class Worker:
         self.max_items = max_items
         self.chaos = chaos
         self.stop = stop if stop is not None else threading.Event()
+        self.breaker = breaker if breaker is not None else resilience.CircuitBreaker.from_env()
+        #: Backoff for failed claims, seeded at the poll interval so test
+        #: fleets with millisecond polls stay fast; resets on success.
+        self.claim_backoff = resilience.Backoff.from_env(initial=poll_seconds)
+        #: Separate ladder for rejected uploads — a corrupting worker must
+        #: not speed its claim cadence back up between rejections.
+        self.upload_backoff = resilience.Backoff.from_env(initial=poll_seconds)
         self.log = log
         self.report = WorkerReport()
 
@@ -240,17 +270,41 @@ class Worker:
         """Poll until stopped (or chaos kills the worker); returns the
         report of what happened."""
         while not self.stop.is_set():
+            if not self.breaker.allow():
+                # Coordinator is presumed dead: sleep out the cooldown
+                # instead of burning connections against it.
+                resilience.pause(
+                    min(self.poll_seconds, self.breaker.cooldown()) or self.poll_seconds,
+                    self.stop,
+                )
+                continue
             try:
                 items = self.client.claim(self.worker_id, self.max_items)
             except FabricError as error:
+                # The coordinator answered; this is policy, not an outage.
+                self.report.claim_failures += 1
                 self._log(f"claim rejected: {error}")
-                items = []
+                resilience.pause(self.claim_backoff.next_delay(), self.stop)
+                continue
             except (urllib.error.URLError, OSError) as error:
-                # Coordinator not up (yet) or network blip: keep polling.
+                # Coordinator not up (yet) or network blip: back off, and
+                # let the breaker decide when polling becomes pointless.
+                self.report.claim_failures += 1
+                if self.breaker.record_failure():
+                    self.report.breaker_opens += 1
+                    self._log(
+                        f"coordinator unreachable {self.breaker.threshold} times; "
+                        f"breaker open for {self.breaker.reset_seconds:g}s"
+                    )
                 self._log(f"claim failed: {error}")
-                items = []
+                resilience.pause(self.claim_backoff.next_delay(), self.stop)
+                continue
+            self.breaker.record_success()
+            self.claim_backoff.reset()
             if not items:
-                self.stop.wait(self.poll_seconds)
+                resilience.pause(
+                    resilience.jittered(self.poll_seconds), self.stop
+                )
                 continue
             for item in items:
                 self.report.claimed += 1
@@ -291,9 +345,16 @@ class Worker:
         def beat() -> None:
             while not heartbeat_stop.wait(interval):
                 try:
-                    self.client.heartbeat(self.worker_id, [item["item_id"]])
+                    status = self.client.heartbeat(self.worker_id, [item["item_id"]])
                 except (FabricError, urllib.error.URLError, OSError):
                     return  # coordinator gone; the run loop will notice
+                if item["item_id"] in status.get("lost", ()):
+                    # The lease expired and was reassigned: stop renewing a
+                    # lease this worker no longer holds — beating on would
+                    # fight the new holder for it.
+                    self.report.leases_lost += 1
+                    self._log(f"lease lost on {item['item_id']}; heartbeat stopped")
+                    return
 
         beater = threading.Thread(
             target=beat, name=f"repro-heartbeat-{item['item_id']}", daemon=True
@@ -330,6 +391,7 @@ class Worker:
         try:
             self.client.complete(self.worker_id, record)
             self.report.completed += 1
+            self.upload_backoff.reset()
             self._log(
                 f"completed {item['item_id']} ({len(outcomes)} results)"
             )
@@ -337,15 +399,16 @@ class Worker:
             self.report.rejected += 1
             self.report.rejected_messages.append(str(error))
             self._log(f"upload rejected ({error.status}): {error}")
-            # Back off before claiming again: whatever corrupted this upload
-            # (bad serialisation, flaky disk, chaos) will likely corrupt the
-            # next one too, and the rejected item was just requeued at the
-            # front — a tight retry loop would race healthier workers for it
-            # and burn through its lease budget.
-            self.stop.wait(self.poll_seconds)
+            # Back off before claiming again, and escalate on repetition:
+            # whatever corrupted this upload (bad serialisation, flaky disk,
+            # chaos) will likely corrupt the next one too, and the rejected
+            # item was just requeued at the front — a tight retry loop would
+            # race healthier workers for it and burn through its lease budget.
+            resilience.pause(self.upload_backoff.next_delay(), self.stop)
         except (urllib.error.URLError, OSError) as error:
             self.report.errors += 1
             self._log(f"upload failed: {error}")
+            resilience.pause(self.upload_backoff.next_delay(), self.stop)
         return True
 
     def _log(self, message: str) -> None:

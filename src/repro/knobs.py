@@ -187,6 +187,75 @@ KNOBS: dict[str, Knob] = {
             "REPRO_ENGINE", None, None,
             "SpMSpM engine backend: `vectorized` (default) or `reference`",
         ),
+        _knob(
+            "REPRO_BACKOFF_INITIAL", "0.2",
+            _positive_float("REPRO_BACKOFF_INITIAL"),
+            "First retry delay in seconds of the shared backoff policy (default 0.2)",
+        ),
+        _knob(
+            "REPRO_BACKOFF_CAP", "30", _positive_float("REPRO_BACKOFF_CAP"),
+            "Ceiling in seconds on any backoff delay (default 30)",
+        ),
+        _knob(
+            "REPRO_BACKOFF_MULTIPLIER", "2",
+            _positive_float("REPRO_BACKOFF_MULTIPLIER"),
+            "Growth factor between consecutive backoff delays (default 2)",
+        ),
+        _knob(
+            "REPRO_BACKOFF_JITTER", "0.1", _float("REPRO_BACKOFF_JITTER"),
+            "Jitter fraction applied to backoff delays and periodic polls (default 0.1)",
+        ),
+        _knob(
+            "REPRO_RETRY_ATTEMPTS", "5",
+            _integer("REPRO_RETRY_ATTEMPTS", minimum=1),
+            "Attempts granted per transient-error retry loop (default 5)",
+        ),
+        _knob(
+            "REPRO_HTTP_TIMEOUT", "60", _positive_float("REPRO_HTTP_TIMEOUT"),
+            "Socket timeout in seconds of fabric/sync HTTP clients (default 60)",
+        ),
+        _knob(
+            "REPRO_BREAKER_THRESHOLD", "5",
+            _integer("REPRO_BREAKER_THRESHOLD", minimum=1),
+            "Consecutive failures that open the worker's circuit breaker (default 5)",
+        ),
+        _knob(
+            "REPRO_BREAKER_RESET", "15", _positive_float("REPRO_BREAKER_RESET"),
+            "Seconds an open circuit breaker waits before its half-open probe (default 15)",
+        ),
+        _knob(
+            "REPRO_REQUEST_DEADLINE", "30", _float("REPRO_REQUEST_DEADLINE"),
+            "Serve per-request wall deadline in seconds; `0` disables (default 30)",
+        ),
+        _knob(
+            "REPRO_DRAIN_SECONDS", "10", _float("REPRO_DRAIN_SECONDS"),
+            "Seconds a shutting-down server waits for in-flight jobs (default 10)",
+        ),
+        _knob(
+            "REPRO_JOB_POOL_DEPTH", "8",
+            _integer("REPRO_JOB_POOL_DEPTH", minimum=1),
+            "In-flight background jobs admitted before cold requests shed with 503 (default 8)",
+        ),
+        _knob(
+            "REPRO_API_KEYS", None, None,
+            "Comma-separated `label:sha256hex` API keys; unset leaves the server open",
+        ),
+        _knob(
+            "REPRO_RATE_LIMIT", None, _integer("REPRO_RATE_LIMIT", minimum=1),
+            "Figure/sweep requests allowed per key per window; unset disables rate limiting",
+        ),
+        _knob(
+            "REPRO_RATE_WINDOW", "60", _positive_float("REPRO_RATE_WINDOW"),
+            "Sliding-window length in seconds behind `REPRO_RATE_LIMIT` (default 60)",
+        ),
+        _knob(
+            "REPRO_COLD_QUOTA", None, _integer("REPRO_COLD_QUOTA", minimum=1),
+            "Cold jobs allowed per key per UTC day; unset disables the quota",
+        ),
+        _knob(
+            "REPRO_QUOTA_DIR", ".repro_quota", None,
+            "Directory of the on-disk daily cold-quota counters (default `.repro_quota/`)",
+        ),
     )
 }
 

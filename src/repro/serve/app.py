@@ -33,18 +33,43 @@ settings) — see :func:`repro.serve.wire.request_etag` — and
 ``If-None-Match`` is answered with ``304`` before any work happens.  The
 ``X-Repro-Jobs-Executed`` header reports how many simulation jobs a response
 actually executed; a warm hit reports ``0``.
+
+**Admission control** (see the README's "Operations & resilience"): every
+non-fabric ``/v1/*`` route authenticates against the optional
+``REPRO_API_KEYS`` registry (:mod:`repro.serve.auth`; ``401`` on failure,
+open when unset), figure/sweep requests pass the per-key rate limit and —
+when about to create a cold job — the daily cold quota
+(:mod:`repro.serve.quota`; ``429`` with ``Retry-After``), and cold work
+past the job-pool depth bound or during shutdown drain is shed with
+``503`` + ``Retry-After``.  Warm answers and job polls are never shed.
+Each request runs under the ``REPRO_REQUEST_DEADLINE`` wall budget;
+``SIGTERM`` (or :meth:`BackgroundServer.close`) drains in-flight jobs for
+``REPRO_DRAIN_SECONDS`` while refusing new cold work.
 """
 
 from __future__ import annotations
 
 import asyncio
+import math
+import signal
 import sys
 import threading
 
+from repro import resilience
 from repro.api.figures import get_figure
 from repro.api.requests import FigureQuery
 from repro.api.session import Session
-from repro.serve.executor import DONE, FAILED, JobManager, ServeJob
+from repro.serve.auth import ANONYMOUS, AuthError, Principal
+from repro.serve.executor import (
+    DONE,
+    FAILED,
+    SHED_RETRY_AFTER,
+    Draining,
+    JobManager,
+    PoolSaturated,
+    ServeJob,
+)
+from repro.serve.quota import AdmissionControl, Decision
 from repro.serve.http import (
     ALLOWED_METHODS,
     MAX_BODY_BYTES,
@@ -64,9 +89,18 @@ EXECUTED_HEADER = "X-Repro-Jobs-Executed"
 class ServeApp:
     """Router + connection handler over one session and its job manager."""
 
-    def __init__(self, session: Session) -> None:
+    def __init__(
+        self, session: Session, admission: AdmissionControl | None = None
+    ) -> None:
         self.session = session
         self.manager = JobManager(session)
+        self.admission = (
+            admission if admission is not None else AdmissionControl.from_env()
+        )
+        #: Wall budget per request (None: disabled).  Enforced around the
+        #: whole dispatch, so a stuck warmth probe or render cannot wedge a
+        #: connection forever — the client gets a 503 and may retry.
+        self.request_deadline = resilience.request_deadline_seconds()
         #: Fabric routes are opt-in: only a session whose runner dispatches
         #: to the remote fabric is a coordinator surface.  A plain query
         #: server must not carry the pickle-deserializing upload routes.
@@ -98,7 +132,7 @@ class ServeApp:
                     if request is None:
                         break
                     keep_alive = not request.wants_close()
-                    response = await self.dispatch(request)
+                    response = await self._dispatch_bounded(request)
                 except HttpError as error:
                     response = self._error(error.status, error.message)
                 except Exception as error:  # route bug: report, keep serving
@@ -121,31 +155,57 @@ class ServeApp:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            except asyncio.CancelledError:
+                # A cancelled handler stays cancelled: the await above
+                # re-raises even after the body absorbed the first
+                # delivery.  The transport is already closing.
+                pass
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    async def _dispatch_bounded(self, request: Request) -> Response:
+        """Run :meth:`dispatch` under the per-request wall deadline."""
+        if self.request_deadline is None:
+            return await self.dispatch(request)
+        try:
+            return await asyncio.wait_for(
+                self.dispatch(request), timeout=self.request_deadline
+            )
+        except TimeoutError:
+            return self._limited(
+                503,
+                Decision(
+                    False,
+                    retry_after=SHED_RETRY_AFTER,
+                    reason=(
+                        f"request exceeded the {self.request_deadline:g}s "
+                        "deadline"
+                    ),
+                ),
+            )
+
     async def dispatch(self, request: Request) -> Response:
         if request.method not in ALLOWED_METHODS:
             return self._error(405, f"method {request.method} not allowed")
         path = request.path.rstrip("/") or "/"
         if path == "/healthz":
+            # Always open and never rate-limited: liveness probes must work
+            # without credentials, on a saturated or draining server too.
             return self._json(200, wire.health_record())
-        if path == "/v1/figures":
-            return self._json(200, wire.figures_record())
-        if path == "/v1/cache/stats":
-            report = await asyncio.to_thread(self.session.cache_stats)
-            return self._json(200, wire.cache_stats_record(report))
         # Fabric routes (work queue + cache replication) delegate to the
         # shared handler so this surface and the standalone fabric listener
         # speak one protocol — but only when this session opted into remote
         # pool mode; otherwise the paths fall through to the 404 below.
-        # Imported lazily: repro.fabric imports this module's siblings at
-        # load, so a top-level import would cycle.
-        if self.fabric_routes:
+        # They are excluded from API-key auth either way: the fabric has its
+        # own shared-token gate.  Imported lazily: repro.fabric imports this
+        # module's siblings at load, so a top-level import would cycle.
+        fabric_path = False
+        if path.startswith("/v1/"):
             from repro.fabric import api as fabric_api
 
-            if fabric_api.is_fabric_path(path):
+            fabric_path = fabric_api.is_fabric_path(path)
+            if fabric_path and self.fabric_routes:
                 from repro.fabric import shared_queue
 
                 return await asyncio.to_thread(
@@ -155,14 +215,36 @@ class ServeApp:
                     shared_queue(),
                     self.session.cache,
                 )
+        principal = ANONYMOUS
+        if path.startswith("/v1/") and not fabric_path:
+            try:
+                principal = self.admission.authenticate(request.headers)
+            except AuthError as error:
+                response = self._error(401, str(error))
+                response.headers["WWW-Authenticate"] = "Bearer"
+                return response
+        if path == "/v1/sweep" or path.startswith("/v1/figure/"):
+            # The rate limit prices the expensive request class (anything
+            # that may classify/render/simulate); job polls and catalog
+            # reads stay cheap and unmetered.
+            decision = self.admission.admit_request(principal)
+            if not decision.allowed:
+                return self._limited(429, decision)
+        if path == "/v1/figures":
+            return self._json(200, wire.figures_record())
+        if path == "/v1/cache/stats":
+            report = await asyncio.to_thread(self.session.cache_stats)
+            return self._json(200, wire.cache_stats_record(report))
         if path.startswith("/v1/figure/"):
             if request.method != "GET":
                 return self._error(405, "figure queries are GET")
-            return await self._figure(request, path.removeprefix("/v1/figure/"))
+            return await self._figure(
+                request, path.removeprefix("/v1/figure/"), principal
+            )
         if path == "/v1/sweep":
             if request.method != "POST":
                 return self._error(405, "sweeps are POST (a SweepSpec record)")
-            return await self._sweep(request)
+            return await self._sweep(request, principal)
         if path.startswith("/v1/jobs/"):
             return self._job(path.removeprefix("/v1/jobs/"))
         return self._error(404, f"no route for {request.path}")
@@ -170,22 +252,26 @@ class ServeApp:
     # ------------------------------------------------------------------
     # Figure / sweep: warm-sync or cold-202
     # ------------------------------------------------------------------
-    async def _figure(self, request: Request, identifier: str) -> Response:
+    async def _figure(
+        self, request: Request, identifier: str, principal: Principal
+    ) -> Response:
         try:
             query = FigureQuery(identifier)
             get_figure(query.figure)
         except (ValueError, KeyError) as error:
             return self._error(404, str(error).strip('"'))
-        return await self._answer(request, "figure", query, query.key())
+        return await self._answer(request, "figure", query, query.key(), principal)
 
-    async def _sweep(self, request: Request) -> Response:
+    async def _sweep(self, request: Request, principal: Principal) -> Response:
         try:
             spec = wire.sweep_spec_from_payload(request.body)
         except ValueError as error:
             return self._error(400, str(error))
-        return await self._answer(request, "sweep", spec, spec.key())
+        return await self._answer(request, "sweep", spec, spec.key(), principal)
 
-    async def _answer(self, request: Request, kind: str, obj, key: str) -> Response:
+    async def _answer(
+        self, request: Request, kind: str, obj, key: str, principal: Principal
+    ) -> Response:
         etag = wire.request_etag(kind, key, self.session.settings)
         if wire.etag_matches(request.headers.get("if-none-match"), etag):
             return Response(status=304, headers={"ETag": etag})
@@ -207,9 +293,30 @@ class ServeApp:
                 )
         pending, grid_total = await asyncio.to_thread(self.manager.classify, obj)
         if pending:
-            job, created = self.manager.coalesce(key, kind, obj, grid_total)
+            # Cold path.  The quota is charged *before* coalescing (the
+            # admission decision must come first) and refunded whenever no
+            # new job actually resulted — joining an in-flight computation
+            # or being shed costs nothing.  Warm requests below never get
+            # here, so saturation and drain cannot touch cached answers.
+            decision = self.admission.admit_cold(principal)
+            if not decision.allowed:
+                return self._limited(429, decision)
+            try:
+                job, created = self.manager.coalesce(key, kind, obj, grid_total)
+            except (Draining, PoolSaturated) as refusal:
+                self.admission.refund_cold(principal)
+                return self._limited(
+                    503,
+                    Decision(
+                        False,
+                        retry_after=refusal.retry_after,
+                        reason=str(refusal),
+                    ),
+                )
             if created:
                 self.manager.start(job, etag)
+            else:
+                self.admission.refund_cold(principal)
             return self._job_envelope(job, status=202)
         body, executed = await asyncio.to_thread(self.manager.render, obj)
         return Response(
@@ -255,6 +362,26 @@ class ServeApp:
     def _error(self, status: int, message: str) -> Response:
         return self._json(status, wire.error_record(status, message))
 
+    def _limited(self, status: int, decision: Decision) -> Response:
+        """A ``429``/``503`` refusal with precise backoff guidance.
+
+        Every refusal carries ``Retry-After`` (integer seconds, rounded
+        up so a compliant client never retries early) and, when the policy
+        has a window boundary, ``X-Repro-Reset`` with the reset epoch.
+        """
+        reset_at = decision.reset_at or None
+        record = wire.limit_record(
+            status, decision.reason, decision.retry_after, reset_at
+        )
+        headers = {
+            "Retry-After": str(max(1, math.ceil(decision.retry_after)))
+        }
+        if reset_at is not None:
+            headers["X-Repro-Reset"] = f"{reset_at:.3f}"
+        return Response(
+            status=status, body=wire.dump_body(record), headers=headers
+        )
+
 
 # ----------------------------------------------------------------------
 # Running a server
@@ -283,14 +410,40 @@ def run_server(
     async def main(app: ServeApp) -> None:
         server = await start_server(app, host, port)
         bound = server.sockets[0].getsockname()
+        keys = "open" if app.admission.registry.open else "API keys required"
         print(
             f"[repro.serve] listening on http://{bound[0]}:{bound[1]} "
-            f"(cache: {session.cache.directory if session.cache else 'disabled'})",
+            f"(cache: {session.cache.directory if session.cache else 'disabled'}; "
+            f"{keys}; job pool depth {app.manager.max_depth})",
             file=sys.stderr,
             flush=True,
         )
+        terminated = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, terminated.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without signal handlers (or a nested loop)
         async with server:
-            await server.serve_forever()
+            # SIGTERM starts the graceful ramp-down instead of killing the
+            # process: refuse new cold work, keep answering warm requests
+            # and job polls while the drain window runs, then exit.
+            await terminated.wait()
+            window = resilience.drain_seconds()
+            print(
+                f"[repro.serve] SIGTERM: draining in-flight jobs "
+                f"(up to {window:g}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+            app.manager.begin_drain()
+            drained = await asyncio.to_thread(app.manager.drain, window)
+            print(
+                "[repro.serve] drain "
+                + ("complete" if drained else "window expired"),
+                file=sys.stderr,
+                flush=True,
+            )
 
     try:
         asyncio.run(main(app))
@@ -368,9 +521,23 @@ class BackgroundServer:
             loop.run_until_complete(server.wait_closed())
             loop.close()
 
-    def __exit__(self, *exc_info) -> None:
-        if self._loop is not None:
+    def close(self, drain: float | None = None) -> None:
+        """Graceful stop: drain in-flight jobs, then tear the loop down.
+
+        Mirrors the SIGTERM path of :func:`run_server` — new cold work is
+        refused (``503``) the moment the drain begins, in-flight jobs get
+        up to ``drain`` seconds (``REPRO_DRAIN_SECONDS`` by default) to
+        finish, and only then is the listener stopped.  Idempotent.
+        """
+        window = resilience.drain_seconds() if drain is None else drain
+        self.app.manager.begin_drain()
+        if window > 0:
+            self.app.manager.drain(window)
+        if self._loop is not None and not self._loop.is_closed():
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=10)
         self.app.manager.close()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

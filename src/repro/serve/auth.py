@@ -1,0 +1,123 @@
+"""API-key authentication for the serving front-end.
+
+The server never stores a secret: ``REPRO_API_KEYS`` carries a
+comma-separated list of ``label:sha256hex`` entries (the *hash* of each
+key, hex-encoded; a bare hash gets a positional label), and a client
+presents the raw key as an ``Authorization: Bearer <key>`` header or the
+``X-Repro-Api-Key`` header.  The presented key is hashed and compared in
+constant time against every registered digest.
+
+Authentication is strictly opt-in: with ``REPRO_API_KEYS`` unset the
+registry is *open* and every request runs as the anonymous principal —
+exactly today's behaviour.  Once any key is registered, every non-fabric
+``/v1/*`` route requires one (``401`` otherwise); ``/healthz`` stays open
+so liveness probes never need credentials, and the fabric routes keep
+their own shared-token gate (:mod:`repro.fabric.api`).
+
+Generate a registry entry with::
+
+    python -c "import hashlib,secrets; k=secrets.token_hex(16); \\
+               print(k, hashlib.sha256(k.encode()).hexdigest())"
+    export REPRO_API_KEYS="alice:<that hash>"
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro import knobs
+
+#: Headers a client may present its key in (lowercased, post-parse).
+BEARER_HEADER = "authorization"
+KEY_HEADER = "x-repro-api-key"
+
+
+class AuthError(Exception):
+    """A request that failed authentication (the router's ``401``)."""
+
+
+@dataclass(frozen=True)
+class Principal:
+    """Who a request runs as — the admission policies key on ``key_id``."""
+
+    key_id: str
+    authenticated: bool = False
+
+
+#: The principal of every request against an open (keyless) server.
+ANONYMOUS = Principal("anonymous", authenticated=False)
+
+
+def hash_key(secret: str) -> str:
+    """The stored form of an API key (SHA-256 hex of the raw key)."""
+    return hashlib.sha256(secret.encode("utf-8")).hexdigest()
+
+
+def _presented_key(headers: dict[str, str]) -> str | None:
+    bearer = headers.get(BEARER_HEADER, "")
+    if bearer.lower().startswith("bearer "):
+        return bearer[len("Bearer ") :].strip() or None
+    return headers.get(KEY_HEADER, "").strip() or None
+
+
+class KeyRegistry:
+    """The set of accepted key digests, labelled for quota accounting."""
+
+    def __init__(self, entries: dict[str, str]) -> None:
+        #: digest (sha256 hex) -> label.
+        self._entries = dict(entries)
+
+    @classmethod
+    def from_env(cls) -> "KeyRegistry":
+        """Parse ``REPRO_API_KEYS``; malformed entries fail at startup.
+
+        Each entry is ``label:sha256hex`` or a bare 64-char hex digest —
+        never a raw key, so a leaked environment cannot replay clients.
+        """
+        text = knobs.get("REPRO_API_KEYS")
+        entries: dict[str, str] = {}
+        if not text:
+            return cls(entries)
+        for index, chunk in enumerate(text.split(",")):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            label, sep, digest = chunk.rpartition(":")
+            if not sep:
+                label, digest = f"key{index}", chunk
+            digest = digest.strip().lower()
+            if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+                raise ValueError(
+                    "REPRO_API_KEYS entries must be label:sha256hex "
+                    f"(got {chunk!r}; store the hash, never the raw key)"
+                )
+            entries[digest] = label.strip() or f"key{index}"
+        return cls(entries)
+
+    @property
+    def open(self) -> bool:
+        """No keys registered: every request is the anonymous principal."""
+        return not self._entries
+
+    def authenticate(self, headers: dict[str, str]) -> Principal:
+        """The principal behind one request's headers.
+
+        Raises :class:`AuthError` when keys are configured and the request
+        carries none, or an unknown one.
+        """
+        if self.open:
+            return ANONYMOUS
+        presented = _presented_key(headers)
+        if presented is None:
+            raise AuthError(
+                "API key required (Authorization: Bearer <key> or X-Repro-Api-Key)"
+            )
+        digest = hash_key(presented)
+        for known, label in self._entries.items():
+            # compare_digest over every entry: lookup time is independent
+            # of where (or whether) the digest matches.
+            if hmac.compare_digest(digest, known):
+                return Principal(label, authenticated=True)
+        raise AuthError("unknown API key")

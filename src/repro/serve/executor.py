@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 
+from repro import knobs, resilience
 from repro.api.requests import FigureQuery, SweepSpec
 from repro.api.session import Session
 from repro.runtime import SimJob
@@ -45,6 +46,40 @@ FINISHED_JOBS_KEPT = 64
 #: warm-path ``asyncio.to_thread`` renders and the warmth probes, which a
 #: few long simulations would otherwise starve.
 MAX_CONCURRENT_JOBS = 4
+
+#: ``Retry-After`` a shed cold request is told to wait: by then at least
+#: one pool slot has usually turned over on the micro grids, and a client
+#: that retries is re-admitted or re-shed — never queued invisibly.
+SHED_RETRY_AFTER = 1.0
+
+
+class PoolSaturated(RuntimeError):
+    """Cold admission refused: the job pool is at its depth bound.
+
+    The router maps this to ``503`` + ``Retry-After`` — the load-shedding
+    contract.  Shedding beats queueing because every accepted cold job
+    holds memory and a progress registration until some client collects
+    it; an unbounded backlog is how an overloaded server turns into an
+    unresponsive one.
+    """
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(f"job pool saturated ({depth} jobs in flight)")
+        self.depth = depth
+        self.retry_after = SHED_RETRY_AFTER
+
+
+class Draining(RuntimeError):
+    """Cold admission refused: the server is shutting down.
+
+    Warm answers and job polls keep flowing while the drain window runs;
+    only *new* simulation work is turned away (``503``), so clients can
+    still collect finished results from a terminating replica.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("server is draining; no new cold work is admitted")
+        self.retry_after = resilience.drain_seconds()
 
 
 class ServeJob:
@@ -147,9 +182,16 @@ class _ExecutionCounter:
 class JobManager:
     """Registry of background jobs over one shared :class:`Session`."""
 
-    def __init__(self, session: Session) -> None:
+    def __init__(self, session: Session, max_depth: int | None = None) -> None:
         self.session = session
+        #: Unfinished jobs admitted before cold requests shed with 503.
+        #: Deeper than the thread pool on purpose: a short queue absorbs
+        #: bursts, the bound keeps it from becoming an invisible backlog.
+        self.max_depth = (
+            max_depth if max_depth is not None else knobs.get("REPRO_JOB_POOL_DEPTH")
+        )
         self._jobs: dict[str, ServeJob] = {}  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
         self._lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=MAX_CONCURRENT_JOBS, thread_name_prefix="repro-serve-job"
@@ -193,15 +235,63 @@ class JobManager:
         start the computation.  A finished job under the same key is only
         replaced because the caller just re-classified the request as cold
         (e.g. the cache was cleared since), so a fresh run is wanted.
+
+        Admission happens here, under the same lock that registers the job,
+        so two racing requests can never both squeeze past the depth bound:
+        creating a new job raises :class:`Draining` during shutdown and
+        :class:`PoolSaturated` past ``max_depth``.  Joining an existing job
+        is always allowed — coalescing adds no work.
         """
         with self._lock:
             job = self._jobs.get(key)
             if job is not None and not job.finished.is_set():
                 return job, False
+            if self._draining:
+                raise Draining()
+            depth = sum(
+                1 for other in self._jobs.values() if not other.finished.is_set()
+            )
+            if depth >= self.max_depth:
+                raise PoolSaturated(depth)
             job = ServeJob(key, kind, request, total)
             self._jobs[key] = job
             self._evict_finished_locked()
             return job, True
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new cold work from now on (idempotent).
+
+        Warm renders and job polls are untouched: the drain contract is
+        "finish what you accepted, hand out what you finished, take
+        nothing new".
+        """
+        with self._lock:
+            self._draining = True
+
+    def drain(self, timeout_seconds: float) -> bool:
+        """Wait up to ``timeout_seconds`` for in-flight jobs to finish.
+
+        Returns ``True`` when every job completed inside the window.  Jobs
+        still running after the deadline are abandoned to :meth:`close`
+        (a simulation cannot be interrupted mid-flight anyway).
+        """
+        deadline = resilience.Deadline.after(timeout_seconds)
+        with self._lock:
+            unfinished = [
+                job for job in self._jobs.values() if not job.finished.is_set()
+            ]
+        for job in unfinished:
+            if not job.finished.wait(max(0.0, deadline.remaining())):
+                return False
+        return True
 
     def _evict_finished_locked(self) -> None:
         """Drop the oldest finished jobs past the keep bound (lock held)."""

@@ -31,8 +31,10 @@ REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Request-line methods the router understands at all.

@@ -1,0 +1,220 @@
+"""Per-key admission policies: rate limits, cold-job quotas, shedding.
+
+Three independent, individually opt-in policies compose into the
+:class:`AdmissionControl` the router consults:
+
+* :class:`SlidingWindow` — at most ``REPRO_RATE_LIMIT`` figure/sweep
+  requests per key per ``REPRO_RATE_WINDOW`` seconds, tracked in memory
+  as an event deque per key.
+* :class:`ColdQuota` — at most ``REPRO_COLD_QUOTA`` *created* cold jobs
+  per key per UTC day, backed by an on-disk JSON counter under
+  ``REPRO_QUOTA_DIR`` so the budget survives server restarts.  Warm
+  (cache-served) answers are never charged, and a request that coalesces
+  onto an already-running job is refunded — the quota prices simulation
+  work, not HTTP traffic.
+* load shedding lives in :class:`~repro.serve.executor.JobManager`
+  (bounded job-pool depth), not here — the router maps its refusal to the
+  same ``Retry-After``-carrying :class:`Decision` shape.
+
+Every denial is a :class:`Decision` with ``retry_after`` seconds and a
+``reset_at`` epoch timestamp, which the router surfaces as a ``429`` with
+a ``Retry-After`` header — clients can back off precisely instead of
+guessing.  All clocks here are wall time (``time.time``): the numbers are
+client-facing.  The counter store assumes one coordinator process per
+quota directory (the in-process lock serializes writers; there is no
+cross-process file lock).
+"""
+
+from __future__ import annotations
+
+import calendar
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro import knobs
+from repro.serve.auth import KeyRegistry, Principal
+
+#: Seconds per UTC day (the cold-quota accounting period).
+DAY_SECONDS = 86400
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict; denials say when to come back."""
+
+    allowed: bool
+    #: Seconds after which a retry can succeed (denials only).
+    retry_after: float = 0.0
+    #: Epoch timestamp at which the limit window resets (denials only).
+    reset_at: float = 0.0
+    reason: str = ""
+
+
+#: The verdict of every disabled policy.
+ADMITTED = Decision(True)
+
+
+class SlidingWindow:
+    """Per-key sliding-window rate limiter (``limit`` per ``window`` s)."""
+
+    def __init__(self, limit: int | None, window_seconds: float) -> None:
+        self.limit = limit
+        self.window_seconds = window_seconds
+        self._lock = threading.Lock()
+        self._events: dict[str, deque[float]] = {}  # guarded-by: _lock
+
+    def admit(self, key: str, *, now: float | None = None) -> Decision:
+        """Record-and-check one request; denials do not consume an event."""
+        if self.limit is None:
+            return ADMITTED
+        stamp = time.time() if now is None else now
+        horizon = stamp - self.window_seconds
+        with self._lock:
+            events = self._events.setdefault(key, deque())
+            while events and events[0] <= horizon:
+                events.popleft()
+            if len(events) >= self.limit:
+                reset_at = events[0] + self.window_seconds
+                return Decision(
+                    False,
+                    retry_after=max(0.0, reset_at - stamp),
+                    reset_at=reset_at,
+                    reason=(
+                        f"rate limit exceeded ({self.limit} requests per "
+                        f"{self.window_seconds:g}s)"
+                    ),
+                )
+            events.append(stamp)
+        return ADMITTED
+
+
+class ColdQuota:
+    """Daily cold-job budget per key, persisted as on-disk counters.
+
+    One JSON file per UTC day (``quota-YYYYMMDD.json``) maps key labels to
+    jobs charged; writes go through an atomic temp-file replace so a
+    killed server never leaves a torn counter.  Old day files are inert
+    and tiny; prune them like logs.
+    """
+
+    def __init__(self, directory: str | os.PathLike, limit: int | None) -> None:
+        self.directory = os.fspath(directory)
+        self.limit = limit
+        self._lock = threading.Lock()
+
+    def _day_path(self, stamp: float) -> tuple[str, float]:
+        """The counter file for ``stamp``'s UTC day, and the epoch second
+        that day's budget resets at (the next UTC midnight)."""
+        day = time.gmtime(stamp)
+        name = f"quota-{day.tm_year:04d}{day.tm_mon:02d}{day.tm_mday:02d}.json"
+        midnight = calendar.timegm(
+            (day.tm_year, day.tm_mon, day.tm_mday, 0, 0, 0)
+        )
+        return os.path.join(self.directory, name), float(midnight + DAY_SECONDS)
+
+    def _load(self, path: str) -> dict[str, int]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return {}
+        except (OSError, ValueError):
+            # A torn or foreign file must not brick admission; a fresh
+            # counter errs in the client's favour.
+            return {}
+        if not isinstance(record, dict):
+            return {}
+        return {
+            key: int(value)
+            for key, value in record.items()
+            if isinstance(key, str) and isinstance(value, int)
+        }
+
+    def _store(self, path: str, record: dict[str, int]) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def charge(self, key: str, *, now: float | None = None) -> Decision:
+        """Spend one cold job from ``key``'s budget for today."""
+        if self.limit is None:
+            return ADMITTED
+        stamp = time.time() if now is None else now
+        path, reset_at = self._day_path(stamp)
+        with self._lock:
+            record = self._load(path)
+            spent = record.get(key, 0)
+            if spent >= self.limit:
+                return Decision(
+                    False,
+                    retry_after=max(0.0, reset_at - stamp),
+                    reset_at=reset_at,
+                    reason=(
+                        f"daily cold-job quota exhausted "
+                        f"({self.limit} per key per UTC day)"
+                    ),
+                )
+            record[key] = spent + 1
+            self._store(path, record)
+        return ADMITTED
+
+    def refund(self, key: str, *, now: float | None = None) -> None:
+        """Return one charged job (the request coalesced or was shed)."""
+        if self.limit is None:
+            return
+        stamp = time.time() if now is None else now
+        path, _reset_at = self._day_path(stamp)
+        with self._lock:
+            record = self._load(path)
+            spent = record.get(key, 0)
+            if spent <= 0:
+                return
+            record[key] = spent - 1
+            self._store(path, record)
+
+
+class AdmissionControl:
+    """The router's one-stop admission surface: auth + rate + quota."""
+
+    def __init__(
+        self,
+        registry: KeyRegistry,
+        window: SlidingWindow,
+        cold_quota: ColdQuota,
+    ) -> None:
+        self.registry = registry
+        self.window = window
+        self.cold_quota = cold_quota
+
+    @classmethod
+    def from_env(cls) -> "AdmissionControl":
+        return cls(
+            registry=KeyRegistry.from_env(),
+            window=SlidingWindow(
+                knobs.get("REPRO_RATE_LIMIT"), knobs.get("REPRO_RATE_WINDOW")
+            ),
+            cold_quota=ColdQuota(
+                knobs.get("REPRO_QUOTA_DIR"), knobs.get("REPRO_COLD_QUOTA")
+            ),
+        )
+
+    def authenticate(self, headers: dict[str, str]) -> Principal:
+        return self.registry.authenticate(headers)
+
+    def admit_request(self, principal: Principal, *, now: float | None = None) -> Decision:
+        """Rate-limit gate on every figure/sweep request (warm or cold)."""
+        return self.window.admit(principal.key_id, now=now)
+
+    def admit_cold(self, principal: Principal, *, now: float | None = None) -> Decision:
+        """Quota gate charged when a request is about to create a cold job."""
+        return self.cold_quota.charge(principal.key_id, now=now)
+
+    def refund_cold(self, principal: Principal) -> None:
+        """Undo one :meth:`admit_cold` charge (coalesced or shed request)."""
+        self.cold_quota.refund(principal.key_id)

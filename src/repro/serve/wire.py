@@ -110,6 +110,23 @@ def error_record(status: int, message: str) -> dict:
     }
 
 
+def limit_record(
+    status: int, message: str, retry_after: float, reset_at: float | None = None
+) -> dict:
+    """Body of a ``429``/``503`` admission refusal.
+
+    Besides the standard error fields it carries machine-readable backoff
+    guidance: ``retry_after`` (seconds, mirroring the ``Retry-After``
+    header without its integer rounding) and, when the refusing policy has
+    a window boundary, the ``reset_at`` epoch timestamp it resets at.
+    """
+    record = error_record(status, message)
+    record["retry_after"] = round(max(0.0, retry_after), 3)
+    if reset_at:
+        record["reset_at"] = round(reset_at, 3)
+    return record
+
+
 def job_record(snapshot: dict) -> dict:
     """Status envelope of one background job (``202`` bodies and polls).
 

@@ -10,6 +10,13 @@ The helpers deliberately know nothing about the scenarios themselves:
 tests compose :func:`start_worker`/:func:`worker_fleet` with
 :func:`wait_until` (e.g. "start the rescuer only after the chaos worker
 died") to make each failure ordering deterministic instead of racy.
+
+Worker-side chaos (``die_after``/``stall``/``corrupt``) injects faults in
+the worker's own loop; :class:`ChaosClient` injects them on the *path to
+the coordinator* instead — ``refuse_conn`` raises connection refusals for
+the first N calls (a coordinator that is down, then comes back) and
+``slow_coordinator`` delays every call (an overloaded one) — which is what
+exercises the worker's backoff ladder and circuit breaker.
 """
 
 from __future__ import annotations
@@ -19,6 +26,60 @@ import time
 from contextlib import contextmanager
 
 from repro.fabric import Worker
+from repro.fabric.queue import WorkQueue
+from repro.fabric.worker import DirectClient
+
+
+class ChaosClient:
+    """A queue client that injects coordinator-path faults.
+
+    Wraps an inner client (or builds a :class:`DirectClient` over a raw
+    :class:`WorkQueue`) and misbehaves on the way in:
+
+    * ``refuse_conn`` — raise :class:`ConnectionRefusedError` for the
+      first ``failures`` calls (``float("inf")`` for a permanently dead
+      coordinator), then delegate normally: the down-then-recovered
+      coordinator.
+    * ``slow_coordinator`` — sleep ``delay`` seconds before delegating
+      every call: the saturated coordinator whose answers are late but
+      correct.
+
+    ``calls``/``refused`` count every attempt (thread-safe), so tests can
+    assert how hard a worker actually hit a dead endpoint.
+    """
+
+    def __init__(self, target, mode: str, *, delay: float = 0.05,
+                 failures: float = 0) -> None:
+        if mode not in ("refuse_conn", "slow_coordinator"):
+            raise ValueError(f"unknown chaos-client mode {mode!r}")
+        self.inner = DirectClient(target) if isinstance(target, WorkQueue) else target
+        self.mode = mode
+        self.delay = delay
+        self.failures = failures
+        self.calls = 0
+        self.refused = 0
+        self._lock = threading.Lock()
+
+    def _inject(self) -> None:
+        with self._lock:
+            self.calls += 1
+            if self.mode == "refuse_conn" and self.refused < self.failures:
+                self.refused += 1
+                raise ConnectionRefusedError("chaos: coordinator refused connection")
+        if self.mode == "slow_coordinator":
+            time.sleep(self.delay)
+
+    def claim(self, worker, max_items):
+        self._inject()
+        return self.inner.claim(worker, max_items)
+
+    def heartbeat(self, worker, item_ids):
+        self._inject()
+        return self.inner.heartbeat(worker, item_ids)
+
+    def complete(self, worker, record):
+        self._inject()
+        return self.inner.complete(worker, record)
 
 
 def wait_until(predicate, timeout: float = 60.0, interval: float = 0.01,

@@ -36,7 +36,14 @@ from pathlib import Path
 
 import pytest
 
-from fabric_chaos import start_worker, start_worker_after, wait_until, worker_fleet
+from fabric_chaos import (
+    ChaosClient,
+    start_worker,
+    start_worker_after,
+    wait_until,
+    worker_fleet,
+)
+from repro import resilience
 from repro.api import Session, SweepSpec
 from repro.arch.config import default_config
 from repro.experiments.settings import default_settings
@@ -650,6 +657,70 @@ class TestChaosConvergence:
         finally:
             corruptor.stop()
         assert queue.snapshot()["failed"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Coordinator-path chaos: the worker's backoff ladder and breaker
+# ----------------------------------------------------------------------
+class TestCoordinatorChaos:
+    def test_slow_coordinator_converges_bit_identically(self, tmp_path, reference):
+        """``slow_coordinator``: every claim/heartbeat/complete is delayed;
+        the sweep must still converge to the local run's exact bytes —
+        latency on the control path may slow a sweep, never change it."""
+        session, queue, coordinator_dir = _remote_session(tmp_path)
+        slow = ChaosClient(queue, "slow_coordinator", delay=0.02)
+        specs = [
+            {"cache_dir": tmp_path / "worker-0"},
+            {"cache_dir": tmp_path / "worker-1"},
+        ]
+        with worker_fleet(slow, specs) as fleet:
+            result = session.sweep(CHAOS_SPEC)
+        assert slow.calls >= 2  # the delay path actually ran
+        assert sum(member.report.completed for member in fleet) == 2
+        reference_json, reference_keys = reference
+        assert result.to_json() == reference_json
+        assert sorted(ResultCache(coordinator_dir).keys()) == reference_keys
+        assert queue.snapshot()["outstanding"] == 0
+
+    def test_refused_connections_open_the_breaker_then_recover(
+        self, tmp_path, reference
+    ):
+        """``refuse_conn``: a dead coordinator trips the worker's circuit
+        breaker — attempts against it stay bounded by the half-open probe
+        cadence instead of the poll rate — and once the coordinator comes
+        back, the same worker completes the sweep bit-identically."""
+        session, queue, coordinator_dir = _remote_session(tmp_path)
+        dead = ChaosClient(queue, "refuse_conn", failures=float("inf"))
+        member = start_worker(
+            dead,
+            worker_id="patient",
+            cache_dir=tmp_path / "w-patient",
+            breaker=resilience.CircuitBreaker(threshold=3, reset_seconds=0.05),
+        )
+        try:
+            wait_until(
+                lambda: member.report.breaker_opens >= 1,
+                message="breaker to open",
+            )
+            # While the breaker holds, connection attempts are probes, not
+            # polls: over a multi-reset observation window the worker must
+            # attempt far fewer times than its 10 ms poll cadence would.
+            refused_at_open = dead.refused
+            time.sleep(0.4)
+            assert dead.refused - refused_at_open <= 10
+            assert member.report.claimed == 0
+            # The coordinator comes back: the next half-open probe succeeds,
+            # the breaker closes, and the sweep completes on this worker.
+            dead.failures = 0
+            result = session.sweep(CHAOS_SPEC)
+        finally:
+            member.stop()
+        assert member.report.breaker_opens >= 1
+        assert member.report.claim_failures >= 3  # at least the threshold
+        assert member.report.completed == 2
+        reference_json, reference_keys = reference
+        assert result.to_json() == reference_json
+        assert sorted(ResultCache(coordinator_dir).keys()) == reference_keys
 
 
 # ----------------------------------------------------------------------

@@ -4,14 +4,15 @@ Everything a consumer needs funnels through four concepts:
 
 * :class:`Session` — the single object users construct; owns the experiment
   settings, the batched runner and the persistent result cache.
-* :class:`SweepSpec` / :class:`FigureQuery` — declarative, hashable request
-  objects that compile down to :class:`~repro.runtime.SimJob` grids and are
-  answered straight from the cache when it is warm.
-* :class:`FigureResult` / :class:`SweepResult` — typed, JSON-round-trippable
-  response records (versioned schema) that can cross process and service
-  boundaries.
+* :class:`SweepSpec` / :class:`FigureQuery` / :class:`DseSpec` — declarative,
+  hashable request objects that compile down to
+  :class:`~repro.runtime.SimJob` grids and are answered straight from the
+  cache when it is warm.
+* :class:`FigureResult` / :class:`SweepResult` / :class:`DseResult` — typed,
+  JSON-round-trippable response records (versioned schema) that can cross
+  process and service boundaries.
 * ``python -m repro`` — the CLI over the same facade (``figure``, ``sweep``,
-  ``cache stats|clear|prune``, ``list``).
+  ``dse``, ``cache stats|clear|prune``, ``list``).
 
 Quick tour::
 
@@ -30,6 +31,7 @@ from repro.api.requests import (
     normalize_figure_id,
 )
 from repro.api.responses import (
+    DseResult,
     FigureResult,
     SweepResult,
     canonical_json,
@@ -42,8 +44,12 @@ from repro.api.session import (
     reset_shared_sessions,
     shared_session,
 )
+from repro.dse.explore import DseSpec, dse_report_key
 
 __all__ = [
+    "DseResult",
+    "DseSpec",
+    "dse_report_key",
     "FIGURES",
     "FigureDef",
     "figure_ids",

@@ -109,8 +109,17 @@ class SweepSpec:
             raise ValueError("a sweep needs at least one model or layer")
         for model in self.models:
             if model not in MODEL_REGISTRY:
+                from repro.dse.workloads import has_workload
+
+                hint = (
+                    f"; {model!r} is a registered DSE workload — "
+                    "run it with `python -m repro dse`"
+                    if has_workload(model)
+                    else ""
+                )
                 raise ValueError(
-                    f"unknown model {model!r}; expected one of {tuple(MODEL_REGISTRY)}"
+                    f"unknown model {model!r}; expected one of "
+                    f"{tuple(MODEL_REGISTRY)}{hint}"
                 )
         known_layers = {spec.name for spec in REPRESENTATIVE_LAYERS}
         for layer in self.layers:

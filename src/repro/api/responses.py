@@ -151,6 +151,62 @@ class SweepResult:
         return cls.from_record(json.loads(payload))
 
 
+@dataclass
+class DseResult:
+    """The Pareto report of one design-space-exploration campaign.
+
+    Three sections, all deterministic under a fixed (spec, settings) pair:
+    per-(workload, design point) ``rows``, per-design-point aggregate
+    ``points`` carrying the analytical area/power, and the ``frontier``
+    mapping each objective pair to the design-point names on its Pareto
+    front (``cycles_vs_area``, ``cycles_vs_power``).
+    """
+
+    #: Record form of the :class:`~repro.dse.explore.DseSpec` that ran.
+    spec: dict
+    #: One JSON-safe row per (workload, design point), in grid order.
+    rows: list[Row]
+    #: One aggregate row per design point (cycles, area, power, perf/area).
+    points: list[Row]
+    #: Objective-pair name -> design-point names on the Pareto front.
+    frontier: dict[str, list[str]]
+    #: Record form of the settings the campaign was compiled under.
+    settings: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe dict form."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": "dse",
+            "spec": self.spec,
+            "settings": self.settings,
+            "rows": self.rows,
+            "points": self.points,
+            "frontier": self.frontier,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "DseResult":
+        """Inverse of :meth:`to_record`."""
+        check_record_schema(record, "dse")
+        return cls(
+            spec=record["spec"],
+            rows=record["rows"],
+            points=record["points"],
+            frontier=record["frontier"],
+            settings=record["settings"],
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a canonical, strict JSON string."""
+        return canonical_json(self.to_record(), indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DseResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_record(json.loads(payload))
+
+
 def sweep_row(meta: dict[str, str], result: object, *, config=None) -> Row:
     """Flatten one grid result into a labelled, JSON-safe sweep row.
 

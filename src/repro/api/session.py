@@ -24,7 +24,14 @@ import threading
 
 from repro.api.figures import FigureDef, figure_ids, get_figure
 from repro.api.requests import FigureQuery, SweepSpec
-from repro.api.responses import FigureResult, SweepResult, jsonify_rows, sweep_row
+from repro.api.responses import (
+    DseResult,
+    FigureResult,
+    SweepResult,
+    jsonify_rows,
+    sweep_row,
+)
+from repro.dse.explore import DseSpec, collate_dse, dse_report_key
 from repro.arch.config import AcceleratorConfig
 from repro.experiments.end_to_end import (
     EndToEndResults,
@@ -232,7 +239,36 @@ class Session:
             settings=self.settings.to_record(),
         )
 
-    def required_jobs(self, request: FigureQuery | SweepSpec | str) -> list[SimJob]:
+    def dse(self, spec: DseSpec, *, on_result=None) -> DseResult:
+        """Run a design-space-exploration campaign and return its Pareto report.
+
+        The (workload x design point) grid goes through the session's runner
+        exactly like a sweep, so cost scheduling, crash-resume, remote
+        fan-out and the result cache all apply; a warm cache answers the
+        whole campaign with zero engine executions.  The rendered report
+        body is persisted under :func:`dse_report_key` so the serving
+        front-end's ``GET /v1/dse/<key>`` route can answer byte-identically
+        without recollating — including campaigns originally run from the
+        CLI against the same cache directory.
+        """
+        jobs, meta = spec.compile(self.settings)
+        results = self.runner.run(jobs, on_result=on_result)
+        report = collate_dse(spec, meta, results)
+        result = DseResult(
+            spec=spec.to_record(),
+            rows=jsonify_rows(report["rows"]),
+            points=jsonify_rows(report["points"]),
+            frontier=report["frontier"],
+            settings=self.settings.to_record(),
+        )
+        if self.cache is not None:
+            body = (result.to_json() + "\n").encode()
+            self.cache.put_blob(dse_report_key(spec, self.settings), body)
+        return result
+
+    def required_jobs(
+        self, request: FigureQuery | SweepSpec | DseSpec | str
+    ) -> list[SimJob]:
         """The simulation jobs answering ``request`` would submit right now.
 
         The serving front-end's warmth probe: combined with
@@ -248,7 +284,7 @@ class Session:
         after the read and the "required" jobs all turn out to be cache
         hits, which the serving path handles anyway.
         """
-        if isinstance(request, SweepSpec):
+        if isinstance(request, (SweepSpec, DseSpec)):
             jobs, _meta = request.compile(self.settings)
             return jobs
         query = request if isinstance(request, FigureQuery) else FigureQuery(request)
@@ -284,11 +320,18 @@ class Session:
             return 0
         return self.cache.clear()
 
-    def prune_cache(self, max_size_bytes: int) -> PruneReport:
-        """Evict least-recently-written entries down to ``max_size_bytes``."""
+    def prune_cache(
+        self, max_size_bytes: int | None = None, *, prefix: str | None = None
+    ) -> PruneReport:
+        """Evict cache entries: by LRU size bound, key prefix, or both.
+
+        See :meth:`ResultCache.prune` — ``prefix`` restricts eviction to
+        keys starting with it (e.g. ``"dse-"`` drops a finished campaign's
+        report bodies without touching figure results).
+        """
         if self.cache is None:
             return PruneReport(0, 0, 0, 0)
-        return self.cache.prune(max_size_bytes)
+        return self.cache.prune(max_size_bytes, prefix=prefix)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Session(settings={self.settings!r}, runner={self.runner!r})"

@@ -5,11 +5,13 @@ Subcommands::
     python -m repro figure fig12              # rows of one figure, as JSON
     python -m repro figure fig13 --table      # ... or as an aligned table
     python -m repro sweep --models SQ --designs Flexagon,GAMMA-like
+    python -m repro dse --workloads xf-prune-80,gnn-cora   # Pareto exploration
     python -m repro serve --port 8734         # HTTP/JSON server over the cache
     python -m repro worker http://host:8734   # claim + execute fabric work
     python -m repro cache stats               # entries + size (--json for wire form)
     python -m repro cache clear               # drop every entry
     python -m repro cache prune --max-size-mb 64   # LRU-evict down to a bound
+    python -m repro cache prune --prefix dse-      # evict one key namespace
     python -m repro cache pull http://host:8734    # merge a peer's entries
     python -m repro list                      # figures, models, layers, designs
 
@@ -189,7 +191,23 @@ def _parse_override(text: str) -> tuple[str, object]:
     return name, value
 
 
+def _print_sweepable_models() -> None:
+    """``sweep --list-models``: Table 2 models plus DSE-registered workloads."""
+    from repro.dse.workloads import get_workload, workload_names
+
+    print("models (python -m repro sweep --models ...):")
+    for short_name, model in MODEL_REGISTRY.items():
+        print(f"  {short_name:12s} {model.name} ({model.num_layers} layers)")
+    print("dse workloads (python -m repro dse --workloads ...):")
+    for name in workload_names():
+        workload = get_workload(name)
+        print(f"  {name:12s} [{workload.kind}]")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list_models:
+        _print_sweepable_models()
+        return 0
     session = _session_from_args(args)
     spec = SweepSpec(
         designs=args.designs,
@@ -202,6 +220,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = session.sweep(spec)
     if args.table:
         payload = format_table(result.rows, title=f"Sweep {spec.key()[:12]}")
+    else:
+        payload = result.to_json() + "\n"
+    _emit(args, payload)
+    _report_jobs(session)
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import design_point_names, get_design_point, workload_names
+    from repro.dse.explore import DseSpec
+
+    if args.list_workloads or args.list_designs:
+        if args.list_workloads:
+            _print_sweepable_models()
+        if args.list_designs:
+            print("design points (python -m repro dse --designs ...):")
+            for name in design_point_names():
+                point = get_design_point(name)
+                print(f"  {name:18s} [{point.family}] {point.accelerator}")
+        return 0
+    if not args.workloads:
+        print(
+            "error: --workloads is required (see --list-workloads); "
+            f"registered: {','.join(workload_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    session = _session_from_args(args)
+    spec = DseSpec(
+        workloads=args.workloads,
+        designs=args.designs or (),
+        scale=args.scale,
+    )
+    result = session.dse(spec)
+    if args.table:
+        payload = format_table(result.points, title=f"DSE {spec.key()[:12]}")
+        payload += "\nPareto frontiers:\n"
+        for objective, names in sorted(result.frontier.items()):
+            payload += f"  {objective}: {', '.join(names)}\n"
     else:
         payload = result.to_json() + "\n"
     _emit(args, payload)
@@ -293,10 +350,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         return 0
     assert args.cache_command == "prune", args.cache_command
-    report = cache.prune(int(args.max_size_mb * 1e6))
+    if args.max_size_mb is None and args.prefix is None:
+        print("error: prune needs --max-size-mb, --prefix, or both", file=sys.stderr)
+        return 2
+    bound = None if args.max_size_mb is None else int(args.max_size_mb * 1e6)
+    report = cache.prune(bound, prefix=args.prefix)
+    scope = f" (prefix {args.prefix!r})" if args.prefix else ""
     print(
         f"pruned {report.removed_entries} entries ({report.freed_bytes / 1e6:.2f} MB) "
-        f"from {cache.directory}; {report.remaining_entries} entries "
+        f"from {cache.directory}{scope}; {report.remaining_entries} matching entries "
         f"({report.remaining_bytes / 1e6:.2f} MB) remain"
     )
     return 0
@@ -308,7 +370,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         from repro.serve.wire import catalog_record, dump_body, figures_record
 
         record = figures_record() if what == "figures" else catalog_record()
-        if what in ("models", "layers", "designs"):
+        if what in ("models", "layers", "designs", "workloads"):
             record = {key: record[key] for key in ("kind", "schema", what)}
         sys.stdout.buffer.write(dump_body(record))
         return 0
@@ -330,6 +392,20 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print("designs:")
         for design in SWEEPABLE_DESIGNS:
             print(f"  {design}")
+    if what in ("workloads", "all"):
+        from repro.dse import (
+            design_point_names,
+            get_design_point,
+            get_workload,
+            workload_names,
+        )
+
+        print("dse workloads:")
+        for name in workload_names():
+            print(f"  {name:18s} [{get_workload(name).kind}]")
+        print("dse design points:")
+        for name in design_point_names():
+            print(f"  {name:18s} [{get_design_point(name).family}]")
     return 0
 
 
@@ -378,10 +454,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=None,
         help="pin the operand scale factor (skips the MAC-budget policy)",
     )
+    sweep.add_argument(
+        "--list-models", action="store_true",
+        help="list sweepable models (and DSE workloads), then exit",
+    )
     _add_output_args(sweep)
     _add_settings_args(sweep)
     _add_runner_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    dse = subparsers.add_parser(
+        "dse",
+        help="explore a (workloads x design points) grid and report the "
+        "Pareto frontier (cycles vs. area/power)",
+    )
+    dse.add_argument(
+        "--workloads", default=None, metavar="CSV",
+        help="DSE workload names, e.g. xf-prune-80,gnn-cora "
+        "(--list-workloads shows all)",
+    )
+    dse.add_argument(
+        "--designs", default=None, metavar="CSV",
+        help="design-point names (default: every built-in family; "
+        "--list-designs shows all)",
+    )
+    dse.add_argument(
+        "--scale", type=float, default=None,
+        help="pin the operand scale of synthetic workloads "
+        "(skips the MAC-budget policy)",
+    )
+    dse.add_argument(
+        "--list-workloads", action="store_true",
+        help="list registered workloads, then exit",
+    )
+    dse.add_argument(
+        "--list-designs", action="store_true",
+        help="list registered design points, then exit",
+    )
+    _add_output_args(dse)
+    _add_settings_args(dse)
+    _add_runner_args(dse)
+    dse.set_defaults(func=_cmd_dse)
 
     serve = subparsers.add_parser(
         "serve", help="serve figure/sweep queries over HTTP/JSON"
@@ -439,11 +552,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_sub.add_parser("clear", help="drop every entry")
     prune = cache_sub.add_parser(
-        "prune", help="evict least-recently-written entries down to a size bound"
+        "prune",
+        help="evict entries: LRU down to a size bound, by key prefix, or both",
     )
     prune.add_argument(
-        "--max-size-mb", type=float, required=True, metavar="N",
+        "--max-size-mb", type=float, default=None, metavar="N",
         help="keep at most N megabytes of entries (oldest evicted first)",
+    )
+    prune.add_argument(
+        "--prefix", default=None, metavar="PREFIX",
+        help="only consider keys starting with PREFIX (e.g. dse-); without "
+        "--max-size-mb every matching entry is evicted",
     )
     pull = cache_sub.add_parser(
         "pull",
@@ -470,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lister.add_argument(
         "what", nargs="?", default="all",
-        choices=("all", "figures", "models", "layers", "designs"),
+        choices=("all", "figures", "models", "layers", "designs", "workloads"),
     )
     lister.add_argument(
         "--json", action="store_true",

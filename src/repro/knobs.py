@@ -237,6 +237,20 @@ KNOBS: dict[str, Knob] = {
             "In-flight background jobs admitted before cold requests shed with 503 (default 8)",
         ),
         _knob(
+            "REPRO_DSE_MAX_NNZ", "2000000",
+            _integer("REPRO_DSE_MAX_NNZ", minimum=1),
+            "Max stored entries a MatrixMarket workload file may declare (default 2e6)",
+        ),
+        _knob(
+            "REPRO_DSE_MAX_DIM", "100000",
+            _integer("REPRO_DSE_MAX_DIM", minimum=1),
+            "Max rows/columns a MatrixMarket workload file may declare (default 1e5)",
+        ),
+        _knob(
+            "REPRO_DSE_DIR", None, None,
+            "Directory of `*.mtx` files auto-registered as DSE workloads by stem name",
+        ),
+        _knob(
             "REPRO_API_KEYS", None, None,
             "Comma-separated `label:sha256hex` API keys; unset leaves the server open",
         ),

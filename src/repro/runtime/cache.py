@@ -314,19 +314,33 @@ class ResultCache:
                     path.unlink(missing_ok=True)
         return removed
 
-    def prune(self, max_size_bytes: int) -> PruneReport:
-        """Evict least-recently-written entries until the disk level fits.
+    def prune(
+        self, max_size_bytes: int | None = None, *, prefix: str | None = None
+    ) -> PruneReport:
+        """Evict entries by LRU size bound, key prefix, or both.
 
-        Entries are ranked by file mtime (ties broken by key for
-        determinism) and the oldest are deleted first until the remaining
-        entries total at most ``max_size_bytes``.  Writes refresh an entry's
-        mtime (``put`` replaces the file), so mtime order approximates LRU
-        for the sweep workloads that funnel through the runner.
+        With ``max_size_bytes``, entries are ranked by file mtime (ties
+        broken by key for determinism) and the oldest are deleted first
+        until the remaining entries total at most the bound.  Writes refresh
+        an entry's mtime (``put`` replaces the file), so mtime order
+        approximates LRU for the sweep workloads that funnel through the
+        runner.
+
+        With ``prefix``, only entries whose key starts with it are
+        considered — and if no size bound is given, *every* matching entry
+        is evicted.  That is how a finished DSE campaign (``prefix="dse-"``)
+        is dropped without touching figure results; the report's
+        ``remaining`` counts then cover only the matching keys.
         """
-        if max_size_bytes < 0:
+        if max_size_bytes is None and prefix is None:
+            raise ValueError("prune needs a size bound, a key prefix, or both")
+        if max_size_bytes is not None and max_size_bytes < 0:
             raise ValueError("max_size_bytes must be non-negative")
+        bound = 0 if max_size_bytes is None else max_size_bytes
         entries = []
         for path in self._entry_paths():
+            if prefix is not None and not path.stem.startswith(prefix):
+                continue
             try:
                 stat = path.stat()
             except OSError:
@@ -337,7 +351,7 @@ class ResultCache:
         removed = 0
         freed = 0
         for _mtime, key, path, size in entries:
-            if total <= max_size_bytes:
+            if total <= bound:
                 break
             path.unlink(missing_ok=True)
             with self._memory_lock:

@@ -7,6 +7,8 @@ Endpoints (all JSON; see the README's "Serving" section for curl examples):
 ``GET /v1/figures``           every answerable figure/table
 ``GET /v1/figure/<id>``       one figure's rows — ``200`` warm, ``202`` cold
 ``POST /v1/sweep``            a ``SweepSpec`` record — ``200`` warm, ``202`` cold
+``POST /v1/dse``              a ``DseSpec`` record — ``200`` warm, ``202`` cold
+``GET /v1/dse/<key>``         a campaign's cached Pareto report (by spec key)
 ``GET /v1/jobs/<key>``        poll a background job — ``202`` running, ``200`` done
 ``GET /v1/cache/stats``       result-cache + runner telemetry
 ``POST /v1/work/*``           the fabric's claim/heartbeat/complete protocol*
@@ -223,10 +225,10 @@ class ServeApp:
                 response = self._error(401, str(error))
                 response.headers["WWW-Authenticate"] = "Bearer"
                 return response
-        if path == "/v1/sweep" or path.startswith("/v1/figure/"):
+        if path in ("/v1/sweep", "/v1/dse") or path.startswith("/v1/figure/"):
             # The rate limit prices the expensive request class (anything
-            # that may classify/render/simulate); job polls and catalog
-            # reads stay cheap and unmetered.
+            # that may classify/render/simulate); job polls, warm DSE report
+            # reads and catalog reads stay cheap and unmetered.
             decision = self.admission.admit_request(principal)
             if not decision.allowed:
                 return self._limited(429, decision)
@@ -245,6 +247,14 @@ class ServeApp:
             if request.method != "POST":
                 return self._error(405, "sweeps are POST (a SweepSpec record)")
             return await self._sweep(request, principal)
+        if path == "/v1/dse":
+            if request.method != "POST":
+                return self._error(405, "DSE campaigns are POST (a DseSpec record)")
+            return await self._dse(request, principal)
+        if path.startswith("/v1/dse/"):
+            if request.method != "GET":
+                return self._error(405, "DSE report reads are GET")
+            return await self._dse_report(request, path.removeprefix("/v1/dse/"))
         if path.startswith("/v1/jobs/"):
             return self._job(path.removeprefix("/v1/jobs/"))
         return self._error(404, f"no route for {request.path}")
@@ -268,6 +278,53 @@ class ServeApp:
         except ValueError as error:
             return self._error(400, str(error))
         return await self._answer(request, "sweep", spec, spec.key(), principal)
+
+    async def _dse(self, request: Request, principal: Principal) -> Response:
+        try:
+            spec = wire.dse_spec_from_payload(request.body)
+        except ValueError as error:
+            return self._error(400, str(error))
+        return await self._answer(request, "dse", spec, spec.key(), principal)
+
+    async def _dse_report(self, request: Request, spec_key: str) -> Response:
+        """Serve one campaign's persisted Pareto report body, warm only.
+
+        ``<key>`` is the campaign's :meth:`DseSpec.key`.  The stored body is
+        a deterministic function of (spec, settings, schema versions) — the
+        same bytes ``POST /v1/dse`` and the CLI emit — so it is served with
+        the same strong ETag and always reports zero executions.  A
+        campaign still in flight answers with its job envelope; an unknown
+        one is a 404 pointing at the POST route.
+        """
+        etag = wire.request_etag("dse", spec_key, self.session.settings)
+        if wire.etag_matches(request.headers.get("if-none-match"), etag):
+            return Response(status=304, headers={"ETag": etag})
+        if self.session.cache is not None:
+            from repro.dse.explore import report_key_for
+
+            report_key = report_key_for(spec_key, self.session.settings)
+            body = await asyncio.to_thread(self.session.cache.get_blob, report_key)
+            if body is not None:
+                return Response(
+                    status=200,
+                    body=body,
+                    headers={"ETag": etag, EXECUTED_HEADER: "0"},
+                )
+        job = self.manager.get(spec_key)
+        if job is not None:
+            if not job.finished.is_set():
+                return self._job_envelope(job, status=202)
+            if job.status == DONE and job.body is not None:
+                return Response(
+                    status=200,
+                    body=job.body,
+                    headers={"ETag": etag, EXECUTED_HEADER: "0"},
+                )
+        return self._error(
+            404,
+            f"no cached DSE report for {spec_key!r}; "
+            "POST /v1/dse runs the campaign",
+        )
 
     async def _answer(
         self, request: Request, kind: str, obj, key: str, principal: Principal

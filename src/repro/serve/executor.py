@@ -30,6 +30,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from repro import knobs, resilience
 from repro.api.requests import FigureQuery, SweepSpec
 from repro.api.session import Session
+from repro.dse.explore import DseSpec
 from repro.runtime import SimJob
 
 #: Job lifecycle states (the ``status`` field of the job envelope).
@@ -200,7 +201,9 @@ class JobManager:
     # ------------------------------------------------------------------
     # Warmth probe
     # ------------------------------------------------------------------
-    def classify(self, request: FigureQuery | SweepSpec) -> tuple[list[SimJob], int]:
+    def classify(
+        self, request: FigureQuery | SweepSpec | DseSpec
+    ) -> tuple[list[SimJob], int]:
         """``(still-missing jobs, full grid size)`` for one request.
 
         No missing jobs means warm: every needed job is memoized or already
@@ -328,6 +331,8 @@ class JobManager:
         counter = _ExecutionCounter(on_result)
         if isinstance(request, SweepSpec):
             payload = self.session.sweep(request, on_result=counter).to_json()
+        elif isinstance(request, DseSpec):
+            payload = self.session.dse(request, on_result=counter).to_json()
         else:
             payload = self.session.figure(request, on_result=counter).to_json()
         return (payload + "\n").encode("utf-8"), counter.executed

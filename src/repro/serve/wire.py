@@ -26,6 +26,9 @@ import json
 from repro.api.figures import FIGURES
 from repro.api.responses import canonical_json
 from repro.api.requests import SWEEPABLE_DESIGNS, SweepSpec
+from repro.dse.designs import design_point_names, get_design_point
+from repro.dse.explore import DseSpec
+from repro.dse.workloads import get_workload, workload_names
 from repro.experiments.settings import ExperimentSettings
 from repro.metrics.results import RESULT_SCHEMA_VERSION
 from repro.runtime import CACHE_SCHEMA_VERSION
@@ -78,6 +81,17 @@ def catalog_record() -> dict:
         ],
         "layers": representative_layer_names(),
         "designs": list(SWEEPABLE_DESIGNS),
+        "workloads": [
+            get_workload(name).to_record() for name in workload_names()
+        ],
+        "design_points": [
+            {
+                "name": name,
+                "family": get_design_point(name).family,
+                "accelerator": get_design_point(name).accelerator,
+            }
+            for name in design_point_names()
+        ],
     }
 
 
@@ -179,6 +193,33 @@ def sweep_spec_from_payload(payload: bytes) -> SweepSpec:
         # A wrong-typed field (e.g. "layers": 3) is a client error like any
         # other validation failure, not a server fault.
         raise ValueError(f"malformed sweep field: {error}") from None
+
+
+def dse_spec_from_payload(payload: bytes) -> DseSpec:
+    """Parse a ``POST /v1/dse`` body into a :class:`DseSpec`.
+
+    Accepts a partial record — absent fields take the spec's defaults, so
+    ``{"workloads": ["xf-prune-80"]}`` is a valid body — and reports unknown
+    fields and malformed JSON as :class:`ValueError` (the router's ``400``).
+    """
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"malformed JSON body: {error}") from None
+    if not isinstance(record, dict):
+        raise ValueError("dse body must be a JSON object (a DseSpec record)")
+    fields = dict(record)
+    known = set(DseSpec.__dataclass_fields__)
+    unknown = sorted(set(fields) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown dse field(s) {', '.join(unknown)}; expected a subset "
+            f"of {sorted(known)}"
+        )
+    try:
+        return DseSpec(**fields)
+    except TypeError as error:
+        raise ValueError(f"malformed dse field: {error}") from None
 
 
 # ----------------------------------------------------------------------

@@ -335,7 +335,11 @@ def cached_derived(kind: str, build, *owners):
     structure elsewhere (e.g. the engine's output-row counts), so the
     subtle id+weakref eviction logic exists exactly once.
     """
-    key = (kind,) + tuple(id(owner) for owner in owners)
+    # ``id`` here is only a *memo* key for the per-instance derived value —
+    # it never reaches a content digest (key paths that traverse a derived
+    # matrix hash its stored arrays), so cached results stay process-
+    # independent.
+    key = (kind,) + tuple(id(owner) for owner in owners)  # repro: allow[determinism]
     entry = _DERIVED_CACHE.get(key)
     if entry is not None and all(
         ref() is owner for ref, owner in zip(entry[0], owners)
